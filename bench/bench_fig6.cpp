@@ -1,0 +1,44 @@
+// Reproduces Fig. 6: dynamic range vs maximum operating frequency for the
+// fixed, float and posit EMACs (synthesis model of a Virtex-7 class fabric,
+// k = 256-term accumulation, n in [5, 8]).
+//
+// Paper shape: fixed-point clocks fastest at small dynamic range; at a given
+// dynamic range the posit EMAC clocks above the float EMAC; frequency falls
+// as dynamic range (accumulator width) grows.
+
+#include <cstdio>
+
+#include "hw/cost_model.hpp"
+
+int main() {
+  using namespace dp;
+  constexpr std::size_t kTerms = 256;
+
+  std::printf("FIG 6: Dynamic range (log10 max/min) vs max operating frequency (Hz)\n");
+  std::printf("k = %zu accumulation terms, n in [5,8]\n\n", kTerms);
+  std::printf("%-16s %4s %14s %18s %14s\n", "format", "n", "dyn.range", "fmax (Hz)",
+              "acc bits");
+  for (int i = 0; i < 72; ++i) std::printf("-");
+  std::printf("\n");
+
+  for (int n = 5; n <= 8; ++n) {
+    for (const auto& s : hw::synthesize_grid(n, kTerms)) {
+      std::printf("%-16s %4d %14.2f %18.3e %14zu\n", s.format.name().c_str(), n,
+                  s.dynamic_range_decades, s.fmax_hz, s.accumulator_bits);
+    }
+  }
+
+  // Frontier summary at n = 8 (the paper's visual claim).
+  std::printf("\nn=8 frontier (posit vs float at comparable dynamic range):\n");
+  for (int es = 0; es <= 2; ++es) {
+    const auto p = hw::synthesize_emac(num::PositFormat{8, es}, kTerms);
+    std::printf("  posit es=%d : DR %6.2f -> %7.1f MHz\n", es, p.dynamic_range_decades,
+                p.fmax_hz / 1e6);
+  }
+  for (int we = 2; we <= 5; ++we) {
+    const auto f = hw::synthesize_emac(num::FloatFormat{we, 7 - we}, kTerms);
+    std::printf("  float we=%d : DR %6.2f -> %7.1f MHz\n", we, f.dynamic_range_decades,
+                f.fmax_hz / 1e6);
+  }
+  return 0;
+}

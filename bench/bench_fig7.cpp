@@ -1,0 +1,42 @@
+// Reproduces Fig. 7: bit width n vs energy-delay product for the EMACs.
+//
+// Paper shape: fixed-point has the lowest EDP at every n (roughly an order
+// of magnitude below the others); float and posit EDPs are similar; EDP
+// grows with n. Absolute scale is model-specific (our EDP is dynamic energy
+// per MAC x clock period; the paper reports Vivado power-based values), so
+// the table also shows each value normalized to fixed-point at n=5.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "hw/cost_model.hpp"
+
+int main() {
+  using namespace dp;
+  constexpr std::size_t kTerms = 256;
+
+  const double base =
+      hw::synthesize_emac(num::FixedFormat{5, 2}, kTerms).edp_j_s;
+
+  std::printf("FIG 7: n vs energy-delay product (k = %zu)\n\n", kTerms);
+  std::printf("%4s %-14s %16s %16s\n", "n", "format", "EDP (J*s)", "EDP / fixed@5");
+  for (int i = 0; i < 56; ++i) std::printf("-");
+  std::printf("\n");
+
+  for (int n = 5; n <= 8; ++n) {
+    // Representative configurations, as plotted by the paper: one point per
+    // format family per width.
+    const auto fixed = hw::synthesize_emac(num::FixedFormat{n, n / 2}, kTerms);
+    const int we = std::min(4, n - 2);  // keep wf >= 1 at n = 5
+    const auto flt = hw::synthesize_emac(num::FloatFormat{we, n - 1 - we}, kTerms);
+    const auto posit = hw::synthesize_emac(num::PositFormat{n, 1}, kTerms);
+    for (const auto& s : {fixed, flt, posit}) {
+      std::printf("%4d %-14s %16.3e %16.2f\n", n, s.format.name().c_str(), s.edp_j_s,
+                  s.edp_j_s / base);
+    }
+  }
+
+  std::printf("\nShape checks (paper): fixed lowest at every n; float ~ posit; EDP "
+              "grows with n.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Fig. 8: bit width n vs LUT utilization for the EMACs.
+//
+// Paper shape at n=8 (approximate): fixed ~240, float ~700, posit ~1200
+// LUTs, all growing with n; posit pays for regime decode/encode.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "hw/cost_model.hpp"
+
+int main() {
+  using namespace dp;
+  constexpr std::size_t kTerms = 256;
+
+  std::printf("FIG 8: n vs LUT utilization (k = %zu)\n\n", kTerms);
+  std::printf("%4s %-14s %10s %10s %8s\n", "n", "format", "LUTs", "FFs", "DSPs");
+  for (int i = 0; i < 52; ++i) std::printf("-");
+  std::printf("\n");
+
+  for (int n = 5; n <= 8; ++n) {
+    const auto fixed = hw::synthesize_emac(num::FixedFormat{n, n / 2}, kTerms);
+    const int we = std::min(4, n - 2);  // keep wf >= 1 at n = 5
+    const auto flt = hw::synthesize_emac(num::FloatFormat{we, n - 1 - we}, kTerms);
+    const auto posit = hw::synthesize_emac(num::PositFormat{n, 1}, kTerms);
+    for (const auto& s : {fixed, flt, posit}) {
+      std::printf("%4d %-14s %10.0f %10.0f %8d\n", n, s.format.name().c_str(), s.luts,
+                  s.ffs, s.dsps);
+    }
+  }
+
+  std::printf("\nFull n=8 grid:\n");
+  for (const auto& s : hw::synthesize_grid(8, kTerms)) {
+    std::printf("%4d %-14s %10.0f\n", 8, s.format.name().c_str(), s.luts);
+  }
+
+  std::printf("\nShape checks (paper): posit > float > fixed at every n; growth "
+              "with n.\n");
+  return 0;
+}

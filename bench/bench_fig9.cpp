@@ -1,0 +1,71 @@
+// Reproduces Fig. 9: average accuracy degradation (%) vs energy-delay
+// product, one point per (format family, bit width) for n in [5, 8].
+//
+// Degradation is measured against the 32-bit float reference and averaged
+// over the three Table II datasets, taking the best configuration per format
+// family at each width (the paper: "lowest accuracy degradation per bit
+// width"). EDP comes from the synthesis model of the same configuration.
+//
+// Paper shape: posit points sit at the lowest degradation for a moderate
+// EDP; fixed has the lowest EDP but the highest degradation; float sits in
+// between.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "hw/cost_model.hpp"
+
+int main() {
+  using namespace dp;
+  constexpr std::size_t kTerms = 256;
+
+  std::printf("FIG 9: avg accuracy degradation vs EDP (n in [5,8], 3 datasets)\n\n");
+
+  std::vector<core::TrainedTask> tasks;
+  for (const auto& spec : core::paper_tasks()) {
+    tasks.push_back(core::prepare_task(spec));
+    std::printf("trained %-9s float32 test accuracy %.2f%%\n", spec.name.c_str(),
+                tasks.back().float32_test_accuracy * 100.0);
+  }
+  std::printf("\n%4s %-8s %-14s %22s %16s\n", "n", "family", "best config",
+              "avg degradation (pts)", "EDP (J*s)");
+  for (int i = 0; i < 72; ++i) std::printf("-");
+  std::printf("\n");
+
+  for (int n = 5; n <= 8; ++n) {
+    // For each format family: pick the configuration minimizing the average
+    // degradation across datasets.
+    struct Best {
+      double degradation = 1e9;
+      std::string name;
+      double edp = 0;
+    };
+    std::map<num::Kind, Best> best;
+    for (const auto& fmt : core::paper_comparison_formats(n)) {
+      double total = 0;
+      for (const auto& task : tasks) {
+        total += core::evaluate_format(task, fmt).degradation_points;
+      }
+      const double avg = total / static_cast<double>(tasks.size());
+      Best& b = best[fmt.kind()];
+      if (avg < b.degradation) {
+        b.degradation = avg;
+        b.name = fmt.name();
+        b.edp = hw::synthesize_emac(fmt, kTerms).edp_j_s;
+      }
+    }
+    for (const auto& [kind, b] : best) {
+      const char* family = kind == num::Kind::kPosit   ? "posit"
+                           : kind == num::Kind::kFloat ? "float"
+                                                       : "fixed";
+      std::printf("%4d %-8s %-14s %22.2f %16.3e\n", n, family, b.name.c_str(),
+                  b.degradation, b.edp);
+    }
+  }
+
+  std::printf("\nShape checks (paper): posit achieves the lowest degradation at every "
+              "width at a moderate EDP; fixed has the lowest EDP but degrades most.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// §III-E latency/throughput/energy of the Deep Positron accelerator for each
+// Table II network and each 8-bit format (plus 32-bit-float-class width for
+// scale): streaming pipeline, one EMAC per neuron, layer-local memories.
+//
+// Supports the paper's claim that posit "outperforms in accuracy and latency
+// at 8-bit and below" relative to float (posit clocks faster at matched
+// dynamic range), with fixed-point fastest overall.
+
+#include <cstdio>
+
+#include "arch/accelerator.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace dp;
+
+  const std::vector<num::Format> formats{
+      num::Format{num::PositFormat{8, 0}},  num::Format{num::PositFormat{8, 2}},
+      num::Format{num::FloatFormat{4, 3}},  num::Format{num::FloatFormat{5, 2}},
+      num::Format{num::FixedFormat{8, 7}},  num::Format{num::PositFormat{16, 1}},
+  };
+
+  for (const auto& spec : core::paper_tasks()) {
+    // Topology only; weights irrelevant for timing.
+    const nn::Mlp net(spec.topology, spec.net_seed);
+    std::printf("=== %s network (", spec.name.c_str());
+    for (std::size_t i = 0; i < spec.topology.size(); ++i) {
+      std::printf("%zu%s", spec.topology[i], i + 1 < spec.topology.size() ? "-" : ")\n");
+    }
+    std::printf("%-14s %8s %10s %12s %14s %14s %12s\n", "format", "EMACs", "cycles",
+                "clock MHz", "latency us", "inf/s", "mem Kbit");
+    for (int i = 0; i < 92; ++i) std::printf("-");
+    std::printf("\n");
+    for (const auto& fmt : formats) {
+      const auto report = arch::simulate(nn::quantize(net, fmt));
+      std::printf("%-14s %8zu %10zu %12.1f %14.3f %14.0f %12.1f\n", fmt.name().c_str(),
+                  report.emac_units, report.latency_cycles, report.clock_hz / 1e6,
+                  report.latency_s * 1e6, report.throughput_inf_per_s,
+                  static_cast<double>(report.weight_memory_bits) / 1024.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

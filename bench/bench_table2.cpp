@@ -1,0 +1,66 @@
+// Reproduces Table II: "Deep Positron performance on low-dimensional
+// datasets with 8-bit EMACs" — accuracy of the best 8-bit posit, float and
+// fixed configurations against the 32-bit float reference, on WDBC, Iris and
+// Mushroom with the paper's inference sizes (190 / 50 / 2708).
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace {
+
+std::string cell(const std::optional<dp::core::FormatResult>& r, double paper_val) {
+  if (!r) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%6.2f%% (%5.2f%%) %s", r->accuracy * 100.0, paper_val,
+                r->format.name().c_str());
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dp;
+  std::printf("TABLE II: Deep Positron performance on low-dimensional datasets with "
+              "8-bit EMACs\n");
+  std::printf("(best configuration per format; paper values in parentheses)\n\n");
+  std::printf("%-10s %9s | %-28s | %-28s | %-28s | %s\n", "Dataset", "Inference", "Posit",
+              "Floating-point", "Fixed-point", "32-bit Float");
+  for (int i = 0; i < 140; ++i) std::printf("-");
+  std::printf("\n");
+
+  struct PaperRow {
+    const char* dataset;
+    double posit, flt, fixed, f32;
+  };
+  const PaperRow paper[] = {
+      {"wbc", 85.89, 77.4, 57.8, 90.1},
+      {"iris", 98.0, 96.0, 92.0, 98.0},
+      {"mushroom", 96.4, 96.4, 95.9, 96.8},
+  };
+
+  for (const auto& spec : core::paper_tasks()) {
+    const core::TrainedTask task = core::prepare_task(spec);
+    const auto results = core::sweep_paper_formats(task, 8);
+    const auto bp = core::best_of_kind(results, num::Kind::kPosit);
+    const auto bf = core::best_of_kind(results, num::Kind::kFloat);
+    const auto bx = core::best_of_kind(results, num::Kind::kFixed);
+
+    const PaperRow* row = &paper[0];
+    for (const auto& p : paper) {
+      if (spec.name == p.dataset) row = &p;
+    }
+
+    std::printf("%-10s %9zu | %-28s | %-28s | %-28s | %6.2f%% (%5.2f%%)\n",
+                spec.name.c_str(), task.split.test.size(),
+                cell(bp, row->posit).c_str(), cell(bf, row->flt).c_str(),
+                cell(bx, row->fixed).c_str(), task.float32_test_accuracy * 100.0,
+                row->f32);
+  }
+
+  std::printf("\nShape checks (paper): posit >= float and posit >= fixed at 8 bits on "
+              "every dataset; posit within a few points of 32-bit float.\n");
+  return 0;
+}

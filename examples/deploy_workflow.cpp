@@ -1,0 +1,54 @@
+// Deployment workflow: train once, persist the float32 network, reload it,
+// quantize for the accelerator, persist the quantized weight file, and
+// verify the reloaded quantized model gives identical predictions — the
+// offline toolchain a Deep Positron FPGA deployment would use.
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "nn/deep_positron.hpp"
+#include "nn/io.hpp"
+
+int main() {
+  using namespace dp;
+
+  std::printf("== Deep Positron deployment workflow ==\n\n");
+
+  // 1. Train the float32 reference (the role of the paper's TensorFlow).
+  const core::TrainedTask task = core::prepare_task(core::iris_task());
+  std::printf("[1] trained iris float32 net: test accuracy %.2f%%\n",
+              task.float32_test_accuracy * 100);
+
+  // 2. Persist and reload the float32 network.
+  std::stringstream f32_file;
+  nn::save_network(f32_file, task.net);
+  std::printf("[2] saved float32 network (%zu bytes)\n", f32_file.str().size());
+  const nn::Mlp reloaded = nn::load_network(f32_file);
+
+  // 3. Quantize for the 8-bit posit accelerator and persist the weight file.
+  const num::Format fmt = num::PositFormat{8, 0};
+  const nn::QuantizedNetwork quant = nn::quantize(reloaded, fmt);
+  std::stringstream q_file;
+  nn::save_quantized(q_file, quant);
+  std::printf("[3] quantized to %s and saved (%zu bytes vs %zu for float32)\n",
+              fmt.name().c_str(), q_file.str().size(), f32_file.str().size());
+
+  // 4. Reload the quantized file (as the accelerator loader would) and check
+  //    bit-identical behaviour.
+  const nn::DeepPositron original(quant);
+  const nn::DeepPositron shipped(nn::load_quantized(q_file));
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < task.split.test.size(); ++i) {
+    if (original.predict(task.split.test.x[i]) == shipped.predict(task.split.test.x[i])) {
+      ++agree;
+    }
+  }
+  std::printf("[4] reloaded model agrees on %zu/%zu test samples\n", agree,
+              task.split.test.size());
+
+  const double acc = shipped.accuracy(task.split.test.x, task.split.test.y);
+  std::printf("[5] deployed 8-bit posit accuracy: %.2f%% (float32 %.2f%%)\n",
+              acc * 100, task.float32_test_accuracy * 100);
+  return agree == task.split.test.size() ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+#include "arch/accelerator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dp::arch {
+
+std::size_t emac_pipeline_depth(const num::Format& fmt) {
+  switch (fmt.kind()) {
+    case num::Kind::kPosit:
+      return 3;  // decode | multiply | accumulate (Fig. 5 register banks)
+    case num::Kind::kFloat:
+    case num::Kind::kFixed:
+      return 2;  // multiply | accumulate (Figs. 3-4)
+  }
+  throw std::logic_error("emac_pipeline_depth: bad kind");
+}
+
+AcceleratorReport simulate(const nn::QuantizedNetwork& net) {
+  if (net.layers.empty()) throw std::invalid_argument("simulate: empty network");
+  AcceleratorReport r;
+  const std::size_t depth = emac_pipeline_depth(net.format);
+  constexpr std::size_t kReadoutCycles = 1;  // round/normalize/encode stage
+  const auto n = static_cast<std::size_t>(net.format.total_bits());
+
+  std::size_t max_fan_in = 1;
+  for (const auto& layer : net.layers) {
+    LayerTiming t;
+    t.neurons = layer.fan_out;
+    t.fan_in = layer.fan_in;
+    t.cycles = layer.fan_in + depth + kReadoutCycles;
+    r.layers.push_back(t);
+    r.emac_units += layer.fan_out;
+    r.macs_per_inference += layer.fan_in * layer.fan_out;
+    r.latency_cycles += t.cycles;
+    r.weight_memory_bits += (layer.fan_in + 1) * layer.fan_out * n;
+    max_fan_in = std::max(max_fan_in, layer.fan_in);
+  }
+  // A layer can accept the next sample only after its accumulation finishes.
+  r.initiation_interval = max_fan_in + depth + kReadoutCycles;
+
+  // One EMAC synthesis per format; the biggest fan-in sizes the accumulator.
+  const hw::EmacSynthesis synth = hw::synthesize_emac(net.format, max_fan_in);
+  r.clock_hz = synth.fmax_hz;
+  r.latency_s = static_cast<double>(r.latency_cycles) / synth.fmax_hz;
+  r.throughput_inf_per_s = synth.fmax_hz / static_cast<double>(r.initiation_interval);
+  r.dynamic_energy_per_inference_j =
+      static_cast<double>(r.macs_per_inference) * synth.dyn_energy_per_op_j;
+  r.edp_j_s = r.dynamic_energy_per_inference_j * r.latency_s;
+  return r;
+}
+
+}  // namespace dp::arch

@@ -1,0 +1,50 @@
+#pragma once
+// Deep Positron accelerator model (§III-E of the paper).
+//
+// Architecture: one EMAC per neuron, per-layer local weight/bias memories
+// (no off-chip access during inference), a main control FSM that triggers
+// each layer as soon as its predecessor finishes, and parallel streaming
+// across layers. All neurons of a layer consume one broadcast activation per
+// cycle, so a layer with fan-in k takes k accumulation cycles plus the EMAC
+// pipeline/readout depth.
+//
+// This module turns cycle counts plus the hw cost model's clock and energy
+// figures into inference latency, throughput and per-inference energy.
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "nn/quantize.hpp"
+
+namespace dp::arch {
+
+struct LayerTiming {
+  std::size_t neurons = 0;
+  std::size_t fan_in = 0;
+  std::size_t cycles = 0;  ///< fan_in + pipeline depth + readout
+};
+
+struct AcceleratorReport {
+  std::vector<LayerTiming> layers;
+  std::size_t emac_units = 0;           ///< total neurons (one EMAC each)
+  std::size_t macs_per_inference = 0;   ///< sum fan_in * fan_out
+  std::size_t latency_cycles = 0;       ///< one sample through all layers
+  std::size_t initiation_interval = 0;  ///< cycles between samples (streaming)
+  double clock_hz = 0;
+  double latency_s = 0;
+  double throughput_inf_per_s = 0;      ///< streaming rate = clock / II
+  double dynamic_energy_per_inference_j = 0;
+  double edp_j_s = 0;                   ///< energy x latency, per inference
+  std::size_t weight_memory_bits = 0;   ///< layer-local storage
+};
+
+/// Pipeline depth (register stages) of one EMAC, per format kind:
+/// posit has decode | multiply | accumulate (+1 readout), float and fixed
+/// multiply | accumulate (+1 readout).
+std::size_t emac_pipeline_depth(const num::Format& fmt);
+
+/// Simulate the streaming execution of `net` on the accelerator.
+AcceleratorReport simulate(const nn::QuantizedNetwork& net);
+
+}  // namespace dp::arch

@@ -1,0 +1,101 @@
+#pragma once
+// Acc256 — a fixed 256-bit two's-complement accumulator used by the fast
+// (functional) EMAC models. 256 bits covers the widest quire the paper's
+// sweeps require: posit n=8, es=3 needs 2^5*6 + 2*(3) + 2 + log2(k) < 220
+// bits, and the float EMAC accumulator (eq. 3) stays below 128 bits.
+//
+// Only the operations the EMACs need are provided: signed add of a shifted
+// 128-bit product, negation, sign test, leading-zero count and bit slicing.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace dp::emac {
+
+struct Acc256 {
+  // Little-endian limbs; two's-complement across the full 256 bits.
+  std::uint64_t w[4] = {0, 0, 0, 0};
+
+  void clear() { w[0] = w[1] = w[2] = w[3] = 0; }
+
+  bool is_zero() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  bool is_neg() const { return (w[3] >> 63) & 1; }
+
+  void add(const Acc256& o) {
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      const unsigned __int128 s = static_cast<unsigned __int128>(w[i]) + o.w[i] + carry;
+      w[i] = static_cast<std::uint64_t>(s);
+      carry = s >> 64;
+    }
+  }
+
+  Acc256 negated() const {
+    Acc256 r;
+    unsigned __int128 carry = 1;
+    for (int i = 0; i < 4; ++i) {
+      const unsigned __int128 s = static_cast<unsigned __int128>(~w[i]) + carry;
+      r.w[i] = static_cast<std::uint64_t>(s);
+      carry = s >> 64;
+    }
+    return r;
+  }
+
+  bool bit(int i) const { return (w[i >> 6] >> (i & 63)) & 1; }
+
+  void set_bit(int i) { w[i >> 6] |= std::uint64_t{1} << (i & 63); }
+
+  /// Position of the most significant set bit, or -1 if zero.
+  int msb() const {
+    for (int i = 255; i >= 0; --i) {
+      if (bit(i)) return i;
+    }
+    return -1;
+  }
+
+  /// OR-reduce of bits [0, count).
+  bool any_below(int count) const {
+    for (int i = 0; i < count; ++i) {
+      if (bit(i)) return true;
+    }
+    return false;
+  }
+
+  /// Extract 64 bits starting at `pos` (little-endian), pos+63 <= 255.
+  std::uint64_t extract64(int pos) const {
+    if (pos < 0 || pos > 192) throw std::out_of_range("Acc256::extract64");
+    const int limb = pos >> 6;
+    const int off = pos & 63;
+    std::uint64_t v = w[limb] >> off;
+    if (off != 0 && limb < 3) v |= w[limb + 1] << (64 - off);
+    return v;
+  }
+
+  /// Build from a signed 128-bit product shifted left by `shift` bits.
+  /// Precondition: the shifted value fits in 256 bits (shift <= 255 and the
+  /// magnitude's MSB + shift < 255).
+  static Acc256 from_shifted_product(__int128 value, int shift) {
+    const bool neg = value < 0;
+    unsigned __int128 mag = neg ? static_cast<unsigned __int128>(-value)
+                                : static_cast<unsigned __int128>(value);
+    Acc256 r;
+    const int limb = shift >> 6;
+    const int off = shift & 63;
+    // Spread the (up to) 128-bit magnitude across limbs starting at `limb`.
+    std::uint64_t parts[3];
+    parts[0] = static_cast<std::uint64_t>(mag) << off;
+    if (off == 0) {
+      parts[1] = static_cast<std::uint64_t>(mag >> 64);
+      parts[2] = 0;
+    } else {
+      parts[1] = static_cast<std::uint64_t>(mag >> (64 - off));
+      parts[2] = static_cast<std::uint64_t>(mag >> (128 - off));
+    }
+    for (int i = 0; i < 3; ++i) {
+      if (limb + i < 4) r.w[limb + i] = parts[i];
+    }
+    return neg ? r.negated() : r;
+  }
+};
+
+}  // namespace dp::emac

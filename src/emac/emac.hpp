@@ -1,0 +1,63 @@
+#pragma once
+// Exact multiply-and-accumulate (EMAC) units — software models of the
+// precision-adaptable FPGA soft cores of the Deep Positron paper (Figs 3-5).
+//
+// An EMAC consumes one (weight, activation) pair per clock cycle, accumulates
+// the *exact* product into a wide fixed-point register (a Kulisch accumulator;
+// for posits, the quire), and applies a single rounding/clipping step when the
+// result is read out. Rounding is therefore delayed until every product has
+// been accumulated — the defining property of the architecture.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "numeric/format.hpp"
+
+namespace dp::emac {
+
+/// One EMAC soft core instance, configured for a numeric format and a maximum
+/// accumulation length k (the fan-in of the neuron it serves).
+class Emac {
+ public:
+  virtual ~Emac() = default;
+
+  /// Begin a new accumulation, loading `bias_bits` (a value in the unit's
+  /// format) into the accumulator. Mirrors the paper: "the accumulator D
+  /// flip-flop can be reset to the fixed-point representation of the bias".
+  virtual void reset(std::uint32_t bias_bits) = 0;
+
+  /// Start with an empty (zero) accumulator.
+  void reset() { reset(zero_bits()); }
+
+  /// One MAC cycle: accumulate weight * activation exactly.
+  virtual void step(std::uint32_t weight_bits, std::uint32_t activation_bits) = 0;
+
+  /// Post-summation stage: round/normalize/clip to the output format.
+  virtual std::uint32_t result() const = 0;
+
+  virtual const num::Format& format() const = 0;
+  virtual std::size_t max_terms() const = 0;  ///< k
+
+  /// Width in bits of the exact accumulation register actually allocated.
+  virtual std::size_t accumulator_width() const = 0;
+
+  /// The zero pattern of the unit's format.
+  virtual std::uint32_t zero_bits() const { return 0; }
+};
+
+/// Accumulator width for a scaled (float/fixed) format per eq. (3) of the
+/// paper: wa = ceil(log2 k) + 2*ceil(log2(max/min)) + 2.
+std::size_t accumulator_width_eq3(double max_value, double min_value, std::size_t k);
+
+/// Posit quire width per eq. (4): qsize = 2^(es+2)*(n-2) + 2 + ceil(log2 k).
+std::size_t quire_width_eq4(const num::PositFormat& fmt, std::size_t k);
+
+/// Factory: build the matching EMAC model for any format.
+/// `bit_accurate` selects the RTL-faithful implementation (posit only; the
+/// fixed/float datapaths are integer-exact in both variants). The functional
+/// and RTL-faithful models are bit-equivalent (see tests/emac).
+std::unique_ptr<Emac> make_emac(const num::Format& fmt, std::size_t k,
+                                bool bit_accurate = false);
+
+}  // namespace dp::emac

@@ -1,0 +1,40 @@
+#include "emac/naive_mac.hpp"
+
+#include <stdexcept>
+
+namespace dp::emac {
+
+std::uint32_t naive_mac(const num::Format& fmt, std::uint32_t bias_bits,
+                        std::span<const std::uint32_t> weights,
+                        std::span<const std::uint32_t> activations) {
+  if (weights.size() != activations.size()) {
+    throw std::invalid_argument("naive_mac: length mismatch");
+  }
+  std::uint32_t acc = bias_bits;
+  switch (fmt.kind()) {
+    case num::Kind::kPosit: {
+      const auto& f = fmt.posit();
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc = num::posit_add(acc, num::posit_mul(weights[i], activations[i], f), f);
+      }
+      return acc;
+    }
+    case num::Kind::kFloat: {
+      const auto& f = fmt.flt();
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc = num::float_add(acc, num::float_mul(weights[i], activations[i], f), f);
+      }
+      return acc;
+    }
+    case num::Kind::kFixed: {
+      const auto& f = fmt.fixed();
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc = num::fixed_add(acc, num::fixed_mul(weights[i], activations[i], f), f);
+      }
+      return acc;
+    }
+  }
+  throw std::logic_error("naive_mac: bad kind");
+}
+
+}  // namespace dp::emac

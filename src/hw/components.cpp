@@ -1,0 +1,87 @@
+#include "hw/components.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dp::hw {
+
+namespace {
+
+double log2d(std::size_t v) { return std::log2(static_cast<double>(std::max<std::size_t>(v, 1))); }
+
+// First-order 7-series timing/area constants (ns / LUT counts).
+constexpr double kLutDelay = 0.20;      // one LUT level incl. avg local routing
+constexpr double kCarryPerBit = 0.015;  // CARRY4 chain, per bit
+constexpr double kAdderBase = 0.35;     // LUT + chain entry/exit
+
+}  // namespace
+
+Component parallel(const Component& a, const Component& b) {
+  return {a.luts + b.luts, std::max(a.delay_ns, b.delay_ns), a.ff + b.ff};
+}
+
+Component adder(std::size_t w) {
+  // One LUT per bit plus the carry chain.
+  return {static_cast<double>(w), kAdderBase + kCarryPerBit * static_cast<double>(w), 0.0};
+}
+
+Component twos_complement(std::size_t w) {
+  // Inverters fold into the adder LUTs; one extra LUT level of delay.
+  Component c = adder(w);
+  c.delay_ns += 0.1;
+  return c;
+}
+
+Component multiplier(std::size_t w) {
+  // Array multiplier: ~w^2 partial-product LUTs * packing efficiency, with a
+  // carry-save tree of depth ~log2(w) feeding a final carry-chain add.
+  Component c;
+  c.luts = 1.1 * static_cast<double>(w) * static_cast<double>(w);
+  c.delay_ns = 0.7 + 0.3 * log2d(w) + 2.0 * kCarryPerBit * static_cast<double>(w);
+  return c;
+}
+
+Component barrel_shifter(std::size_t w, std::size_t max_shift) {
+  // ceil(log2(max_shift+1)) mux stages; each 6-LUT realizes a 4:1 mux, so two
+  // stages per LUT level.
+  const double stages = std::ceil(std::log2(static_cast<double>(max_shift) + 1.0));
+  const double levels = std::ceil(stages / 2.0);
+  Component c;
+  c.luts = static_cast<double>(w) * levels;
+  c.delay_ns = 0.15 + kLutDelay * levels;
+  return c;
+}
+
+Component lzd(std::size_t w) {
+  // Priority tree: ~1.2 LUTs/bit, depth log4(w) LUT levels.
+  Component c;
+  c.luts = 1.2 * static_cast<double>(w);
+  c.delay_ns = 0.1 + 0.15 * std::ceil(log2d(w) / 2.0);
+  return c;
+}
+
+Component mux2(std::size_t w) {
+  return {0.5 * static_cast<double>(w), kLutDelay, 0.0};
+}
+
+Component comparator(std::size_t w) {
+  return {0.5 * static_cast<double>(w), 0.15 + kCarryPerBit * static_cast<double>(w), 0.0};
+}
+
+Component round_rne(std::size_t n) {
+  // Guard/round/sticky reduction plus an n-bit increment.
+  Component c = adder(n);
+  c.luts += 8.0;
+  c.delay_ns += kLutDelay;
+  return c;
+}
+
+Component reg(std::size_t w) { return {0.0, 0.0, static_cast<double>(w)}; }
+
+double lut_switch_energy_j() { return 6.0e-15; }  // ~6 fJ/LUT-toggle at 1.0 V, 28 nm
+
+double activity_factor() { return 0.18; }
+
+double sequencing_overhead_ns() { return 0.30; }
+
+}  // namespace dp::hw

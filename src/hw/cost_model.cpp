@@ -1,0 +1,189 @@
+#include "hw/cost_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "emac/emac.hpp"
+#include "hw/components.hpp"
+
+namespace dp::hw {
+
+namespace {
+
+/// Per-format area calibration: routing, control and glue not captured by
+/// the first-order component models, fitted once against the paper's Fig. 8
+/// n=8 points (fixed ~240, float ~700, posit ~1200 LUTs).
+constexpr double kFixedAreaCal = 1.15;
+constexpr double kFloatAreaCal = 1.20;
+constexpr double kPositAreaCal = 1.25;
+/// Interface/control overhead common to every EMAC core.
+constexpr double kBaseOverheadLuts = 60.0;
+
+/// Extra delay of the float fixed-point conversion in the accumulate stage:
+/// the Fig. 4 datapath places the product two's-complement and the
+/// subnormal-driven shift setup in front of the wide adder; posits fold the
+/// equivalent work into the biased scale factor computed in the multiply
+/// stage. Calibrated against the Fig. 6 posit-above-float ordering.
+constexpr double kFloatConvertExtraNs = 0.8;
+
+struct StageAcc {
+  Component comp;      // LUT/FF totals for the whole core
+  double mult_ns = 0;  // per-stage delays
+  double acc_ns = 0;
+  double readout_ns = 0;
+};
+
+void finish(EmacSynthesis& s, const StageAcc& st, double area_cal) {
+  s.luts = st.comp.luts * area_cal + kBaseOverheadLuts;
+  s.ffs = st.comp.ff;
+  s.stage_mult_ns = st.mult_ns;
+  s.stage_acc_ns = st.acc_ns;
+  s.readout_ns = st.readout_ns;
+  s.critical_path_ns = std::max(st.mult_ns, st.acc_ns) + sequencing_overhead_ns();
+  s.fmax_hz = 1e9 / s.critical_path_ns;
+  s.dyn_energy_per_op_j = s.luts * activity_factor() * lut_switch_energy_j();
+  s.dyn_power_w = s.dyn_energy_per_op_j * s.fmax_hz;
+  s.edp_j_s = s.dyn_energy_per_op_j * (s.critical_path_ns * 1e-9);
+  s.dynamic_range_decades = s.format.dynamic_range();
+}
+
+EmacSynthesis synthesize_fixed(const num::FixedFormat& f, std::size_t k) {
+  EmacSynthesis s{.format = f, .k = k};
+  const std::size_t wa = emac::accumulator_width_eq3(f.max_value(), f.min_positive(), k);
+  s.accumulator_bits = wa;
+  StageAcc st;
+
+  // Stage M: n x n multiplier, 2n-bit product register.
+  const Component m = multiplier(f.n);
+  st.comp += m + reg(2 * f.n);
+  st.mult_ns = m.delay_ns;
+
+  // Stage A: sign-extend (wiring) + wa-bit adder + accumulator register.
+  const Component add = adder(wa);
+  st.comp += add + reg(wa);
+  st.acc_ns = add.delay_ns;
+
+  // Readout: shift by q (wiring) + clip compare + output mux.
+  const Component ro = comparator(wa) + mux2(f.n);
+  st.comp += ro;
+  st.readout_ns = ro.delay_ns;
+
+  finish(s, st, kFixedAreaCal);
+  return s;
+}
+
+EmacSynthesis synthesize_float(const num::FloatFormat& f, std::size_t k) {
+  EmacSynthesis s{.format = f, .k = k};
+  const std::size_t wa = emac::accumulator_width_eq3(f.max_value(), f.min_value(), k);
+  s.accumulator_bits = wa;
+  StageAcc st;
+  const std::size_t sig = static_cast<std::size_t>(f.wf) + 1;
+
+  // Stage M: per-input subnormal detection (exp==0 check + hidden-bit mux),
+  // significand multiplier, exponent sum (two adders: ea+eb, -bias fold).
+  const Component subnorm = comparator(f.we) + mux2(sig);
+  const Component m = multiplier(sig);
+  const Component expadd = adder(f.we + 1) + adder(f.we + 2);
+  st.comp += subnorm + subnorm + m + expadd + reg(2 * sig + f.we + 2);
+  st.mult_ns = parallel(subnorm, expadd).delay_ns + m.delay_ns;
+
+  // Stage A: product two's complement, barrel shift into the wa-bit frame,
+  // wide add. The conversion overhead is float-specific (see header).
+  const Component tc = twos_complement(2 * sig);
+  const Component sh = barrel_shifter(wa, 2 * static_cast<std::size_t>(f.expmax()));
+  const Component add = adder(wa);
+  st.comp += tc + sh + add + reg(wa);
+  st.acc_ns = tc.delay_ns + sh.delay_ns + add.delay_ns + kFloatConvertExtraNs;
+
+  // Readout: inverse two's complement, LZD, normalize shift, subnormal
+  // handling, RNE round, clip.
+  const Component ro = twos_complement(wa) + lzd(wa) + barrel_shifter(wa, wa) +
+                       mux2(sig) + round_rne(f.n()) + comparator(f.we + 1) + mux2(f.n());
+  st.comp += ro;
+  st.readout_ns = ro.delay_ns;
+
+  finish(s, st, kFloatAreaCal);
+  return s;
+}
+
+EmacSynthesis synthesize_posit(const num::PositFormat& f, std::size_t k) {
+  EmacSynthesis s{.format = f, .k = k};
+  const std::size_t p = static_cast<std::size_t>(f.n - 2 - f.es);  // significand width
+  const std::size_t smax = static_cast<std::size_t>(f.max_scale());
+  const std::size_t q = emac::quire_width_eq4(f, k);
+  s.accumulator_bits = q;
+  // Shift range of the fixed-point conversion (biased scale factor).
+  const std::size_t max_shift = 4 * smax;
+  // Physical quire register width (eq. (4) already includes carry headroom;
+  // the always-zero low fraction bits are optimized away by synthesis).
+  const std::size_t qw = q;
+  StageAcc st;
+
+  // Stage D (registered separately — Fig. 5 shows a dedicated register bank
+  // after the decoders, giving the posit EMAC a 3-stage pipeline where the
+  // float EMAC has 2): Algorithm 1 decode per input (two's complement, LZD
+  // over the conditionally inverted word, regime strip shifter).
+  const Component dec = twos_complement(f.n - 1) + lzd(f.n - 1) +
+                        barrel_shifter(f.n >= 3 ? f.n - 3 : 1, f.n - 3);
+  st.comp += dec + dec + reg(2 * (p + static_cast<std::size_t>(f.es) + 8));
+  const double stage_dec_ns = dec.delay_ns;
+
+  // Stage M: significand multiply and the fused {regime,exponent}
+  // scale-factor add (runs in parallel with the multiplier).
+  const Component m = multiplier(p);
+  const std::size_t sfw = static_cast<std::size_t>(f.es) +
+                          static_cast<std::size_t>(std::ceil(std::log2(f.n))) + 2;
+  const Component sfadd = adder(sfw);
+  st.comp += m + sfadd + reg(2 * p + sfw);
+  // fmax is limited by the slowest of the decode and multiply stages; fold
+  // both into the reported "multiply-side" delay.
+  st.mult_ns = std::max(stage_dec_ns, std::max(m.delay_ns, sfadd.delay_ns));
+
+  // Stage A: product two's complement, shift by the biased scale factor,
+  // wide quire add.
+  const Component tc = twos_complement(2 * p);
+  const Component sh = barrel_shifter(qw, max_shift);
+  const Component add = adder(qw);
+  st.comp += tc + sh + add + reg(qw);
+  st.acc_ns = tc.delay_ns + sh.delay_ns + add.delay_ns;
+
+  // Readout (Algorithm 2, lines 15-43): quire two's complement, LZD,
+  // fraction extraction shift, then the convergent-rounding encoder with its
+  // two shifted regime templates and final two's complement.
+  const Component ro = twos_complement(qw) + lzd(qw) + barrel_shifter(qw, qw) +
+                       round_rne(f.n) +
+                       barrel_shifter(2 * f.n, f.n) + barrel_shifter(2 * f.n, f.n) +
+                       twos_complement(f.n) + mux2(f.n);
+  st.comp += ro;
+  st.readout_ns = ro.delay_ns;
+
+  finish(s, st, kPositAreaCal);
+  return s;
+}
+
+}  // namespace
+
+EmacSynthesis synthesize_emac(const num::Format& fmt, std::size_t k) {
+  if (k == 0) throw std::invalid_argument("synthesize_emac: k must be >= 1");
+  switch (fmt.kind()) {
+    case num::Kind::kFixed:
+      return synthesize_fixed(fmt.fixed(), k);
+    case num::Kind::kFloat:
+      return synthesize_float(fmt.flt(), k);
+    case num::Kind::kPosit:
+      return synthesize_posit(fmt.posit(), k);
+  }
+  throw std::logic_error("synthesize_emac: bad kind");
+}
+
+std::vector<EmacSynthesis> synthesize_grid(int n, std::size_t k) {
+  std::vector<EmacSynthesis> out;
+  for (const auto& fmt : num::paper_format_grid(n)) {
+    out.push_back(synthesize_emac(fmt, k));
+  }
+  return out;
+}
+
+}  // namespace dp::hw

@@ -1,0 +1,98 @@
+#include "nn/deep_positron.hpp"
+
+#include <stdexcept>
+
+namespace dp::nn {
+
+DeepPositron::DeepPositron(QuantizedNetwork network) : net_(std::move(network)) {
+  if (net_.layers.empty()) throw std::invalid_argument("DeepPositron: empty network");
+  for (const auto& layer : net_.layers) {
+    emacs_.push_back(emac::make_emac(net_.format, layer.fan_in));
+  }
+}
+
+std::uint32_t DeepPositron::relu(std::uint32_t bits) const {
+  switch (net_.format.kind()) {
+    case num::Kind::kPosit: {
+      const auto& f = net_.format.posit();
+      bits &= f.mask();
+      if (bits == f.nar_pattern()) return bits;  // NaR passes through
+      // Negative iff the sign bit is set (and not NaR).
+      return ((bits >> (f.n - 1)) & 1u) ? f.zero_pattern() : bits;
+    }
+    case num::Kind::kFloat: {
+      const auto& f = net_.format.flt();
+      bits &= f.mask();
+      // Clear negatives (including -0) to +0.
+      return ((bits >> (f.we + f.wf)) & 1u) ? num::float_zero(f) : bits;
+    }
+    case num::Kind::kFixed: {
+      const auto& f = net_.format.fixed();
+      return num::fixed_raw(bits, f) < 0 ? num::fixed_from_raw(0, f) : (bits & f.mask());
+    }
+  }
+  throw std::logic_error("DeepPositron::relu: bad kind");
+}
+
+std::vector<std::uint32_t> DeepPositron::forward_bits(const std::vector<double>& x) const {
+  if (x.size() != net_.input_dim()) {
+    throw std::invalid_argument("DeepPositron::forward: bad input size");
+  }
+  std::vector<std::uint32_t> act;
+  act.reserve(x.size());
+  for (const double v : x) act.push_back(net_.format.from_double(v));
+
+  for (std::size_t li = 0; li < net_.layers.size(); ++li) {
+    const QuantizedLayer& layer = net_.layers[li];
+    emac::Emac& unit = *emacs_[li];
+    std::vector<std::uint32_t> next(layer.fan_out);
+    for (std::size_t j = 0; j < layer.fan_out; ++j) {
+      unit.reset(layer.bias[j]);
+      const std::uint32_t* wrow = layer.weights.data() + j * layer.fan_in;
+      for (std::size_t i = 0; i < layer.fan_in; ++i) {
+        unit.step(wrow[i], act[i]);
+      }
+      std::uint32_t out = unit.result();
+      if (layer.activation == Activation::kReLU) out = relu(out);
+      next[j] = out;
+    }
+    act = std::move(next);
+  }
+  return act;
+}
+
+std::vector<double> DeepPositron::forward(const std::vector<double>& x) const {
+  const std::vector<std::uint32_t> bits = forward_bits(x);
+  std::vector<double> out;
+  out.reserve(bits.size());
+  for (const std::uint32_t b : bits) out.push_back(net_.format.to_double(b));
+  return out;
+}
+
+int DeepPositron::predict(const std::vector<double>& x) const {
+  const std::vector<double> scores = forward(x);
+  int best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+double DeepPositron::accuracy(const std::vector<std::vector<double>>& x,
+                              const std::vector<int>& y) const {
+  if (x.size() != y.size()) throw std::invalid_argument("DeepPositron::accuracy: size mismatch");
+  if (x.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (predict(x[i]) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.size());
+}
+
+std::size_t DeepPositron::macs_per_inference() const {
+  std::size_t macs = 0;
+  for (const auto& layer : net_.layers) macs += layer.fan_in * layer.fan_out;
+  return macs;
+}
+
+}  // namespace dp::nn

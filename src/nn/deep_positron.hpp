@@ -1,0 +1,51 @@
+#pragma once
+// Deep Positron inference engine (§III-E of the paper): a feed-forward DNN
+// whose every neuron is an EMAC unit. Each layer holds its quantized weights
+// and biases in local memory; activations stream layer to layer in the
+// network's numeric format; ReLU is used throughout except for the affine
+// readout. All arithmetic inside a neuron is exact until the single
+// EMAC rounding.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "emac/emac.hpp"
+#include "nn/quantize.hpp"
+
+namespace dp::nn {
+
+class DeepPositron {
+ public:
+  /// Builds one EMAC per layer (neurons of a layer share the unit in this
+  /// software model; hardware instantiates one per neuron — see dp::arch for
+  /// the parallel-latency model).
+  explicit DeepPositron(QuantizedNetwork network);
+
+  const num::Format& format() const { return net_.format; }
+  const QuantizedNetwork& network() const { return net_; }
+
+  /// Inference for one input vector (real values are quantized into the
+  /// network format first, mirroring the input interface of the hardware).
+  std::vector<std::uint32_t> forward_bits(const std::vector<double>& x) const;
+
+  /// Output scores as doubles (decoded readout activations).
+  std::vector<double> forward(const std::vector<double>& x) const;
+
+  /// argmax class prediction.
+  int predict(const std::vector<double>& x) const;
+
+  /// Accuracy over a dataset given as rows of doubles.
+  double accuracy(const std::vector<std::vector<double>>& x, const std::vector<int>& y) const;
+
+  /// Total number of MAC operations for one inference (for energy models).
+  std::size_t macs_per_inference() const;
+
+ private:
+  std::uint32_t relu(std::uint32_t bits) const;
+
+  QuantizedNetwork net_;
+  std::vector<std::unique_ptr<emac::Emac>> emacs_;  // one per layer
+};
+
+}  // namespace dp::nn

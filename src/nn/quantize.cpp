@@ -1,0 +1,42 @@
+#include "nn/quantize.hpp"
+
+#include <cmath>
+
+namespace dp::nn {
+
+QuantizedNetwork quantize(const Mlp& net, const num::Format& fmt) {
+  QuantizedNetwork out{fmt, {}};
+  for (const auto& layer : net.layers()) {
+    QuantizedLayer ql;
+    ql.fan_in = layer.fan_in();
+    ql.fan_out = layer.fan_out();
+    ql.activation = layer.activation;
+    ql.weights.reserve(layer.weights.size());
+    for (const float w : layer.weights.data()) {
+      ql.weights.push_back(fmt.from_double(static_cast<double>(w)));
+    }
+    ql.bias.reserve(layer.bias.size());
+    for (const float b : layer.bias) {
+      ql.bias.push_back(fmt.from_double(static_cast<double>(b)));
+    }
+    out.layers.push_back(std::move(ql));
+  }
+  return out;
+}
+
+QuantError quantization_error(const Mlp& net, const num::Format& fmt) {
+  QuantError e;
+  std::size_t count = 0;
+  for (const float p : net.parameters()) {
+    const double v = static_cast<double>(p);
+    const double q = fmt.to_double(fmt.from_double(v));
+    const double err = std::fabs(q - v);
+    e.mean_abs += err;
+    e.max_abs = std::max(e.max_abs, err);
+    ++count;
+  }
+  if (count > 0) e.mean_abs /= static_cast<double>(count);
+  return e;
+}
+
+}  // namespace dp::nn

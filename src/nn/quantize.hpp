@@ -1,0 +1,42 @@
+#pragma once
+// Quantization of a trained float32 network into one of the low-precision
+// formats: every weight and bias is independently converted with
+// round-to-nearest-even (saturating). The paper quantizes the TensorFlow
+// parameters the same way before loading them into the layer-local memories.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "numeric/format.hpp"
+
+namespace dp::nn {
+
+struct QuantizedLayer {
+  std::vector<std::uint32_t> weights;  ///< row-major, out x in patterns
+  std::vector<std::uint32_t> bias;     ///< out patterns
+  std::size_t fan_in = 0;
+  std::size_t fan_out = 0;
+  Activation activation = Activation::kReLU;
+};
+
+struct QuantizedNetwork {
+  num::Format format;
+  std::vector<QuantizedLayer> layers;
+
+  std::size_t input_dim() const { return layers.front().fan_in; }
+  std::size_t output_dim() const { return layers.back().fan_out; }
+};
+
+/// Quantize all parameters of `net` into `fmt`.
+QuantizedNetwork quantize(const Mlp& net, const num::Format& fmt);
+
+/// Mean and max absolute quantization error over all parameters — useful for
+/// studying which format represents a trained network best (cf. Fig. 2).
+struct QuantError {
+  double mean_abs = 0;
+  double max_abs = 0;
+};
+QuantError quantization_error(const Mlp& net, const num::Format& fmt);
+
+}  // namespace dp::nn

@@ -1,0 +1,82 @@
+#pragma once
+// Minimal dense 2-D tensor (row-major, float32) — the substrate for the
+// float32 reference network that plays the role of the paper's
+// TensorFlow-trained models.
+
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace dp::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix zeros(std::size_t r, std::size_t c) { return Matrix(r, c); }
+
+  /// He-style normal init: N(0, sqrt(2/fan_in)).
+  static Matrix he_normal(std::size_t r, std::size_t c, std::mt19937& rng) {
+    Matrix m(r, c);
+    std::normal_distribution<float> dist(0.0f, std::sqrt(2.0f / static_cast<float>(c)));
+    for (auto& v : m.data_) v = dist(rng);
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  /// out = this * rhs (naive triple loop; sizes here are tiny).
+  Matrix matmul(const Matrix& rhs) const {
+    if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix::matmul: shape mismatch");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const float a = (*this)(i, k);
+        if (a == 0.0f) continue;
+        for (std::size_t j = 0; j < rhs.cols_; ++j) {
+          out(i, j) += a * rhs(k, j);
+        }
+      }
+    }
+    return out;
+  }
+
+  Matrix transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    }
+    return out;
+  }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix: index out of range");
+  }
+
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace dp::nn

@@ -1,0 +1,190 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace dp::nn {
+
+namespace {
+
+/// Per-layer Adam state.
+struct AdamState {
+  Matrix mw, vw;            // first/second moments for weights
+  std::vector<float> mb, vb;  // for biases
+};
+
+struct ForwardCache {
+  // Pre-activation sums and post-activation outputs per layer.
+  std::vector<std::vector<float>> z;
+  std::vector<std::vector<float>> a;  // a[0] is the input
+};
+
+ForwardCache forward_cached(const Mlp& net, const std::vector<float>& x) {
+  ForwardCache c;
+  c.a.push_back(x);
+  std::vector<float> act = x;
+  for (const auto& layer : net.layers()) {
+    std::vector<float> z(layer.fan_out());
+    for (std::size_t j = 0; j < layer.fan_out(); ++j) {
+      float sum = layer.bias[j];
+      for (std::size_t i = 0; i < layer.fan_in(); ++i) sum += layer.weights(j, i) * act[i];
+      z[j] = sum;
+    }
+    c.z.push_back(z);
+    for (auto& v : z) {
+      if (layer.activation == Activation::kReLU) v = std::max(0.0f, v);
+    }
+    act = z;
+    c.a.push_back(act);
+  }
+  return c;
+}
+
+}  // namespace
+
+TrainResult train(Mlp& net, const Matrix& x, const std::vector<int>& y,
+                  const TrainConfig& cfg) {
+  if (x.rows() != y.size()) throw std::invalid_argument("train: X/y size mismatch");
+  if (x.rows() == 0) throw std::invalid_argument("train: empty dataset");
+
+  const float b1 = 0.9f, b2 = 0.999f, eps = 1e-8f;
+  std::vector<AdamState> adam;
+  for (const auto& layer : net.layers()) {
+    AdamState s;
+    s.mw = Matrix::zeros(layer.weights.rows(), layer.weights.cols());
+    s.vw = Matrix::zeros(layer.weights.rows(), layer.weights.cols());
+    s.mb.assign(layer.bias.size(), 0.0f);
+    s.vb.assign(layer.bias.size(), 0.0f);
+    adam.push_back(std::move(s));
+  }
+
+  std::mt19937 rng(cfg.seed);
+  std::vector<std::size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  long step = 0;
+  const std::size_t nl = net.layers().size();
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+
+    for (std::size_t start = 0; start < order.size(); start += cfg.batch_size) {
+      const std::size_t end = std::min(order.size(), start + cfg.batch_size);
+      const auto bsz = static_cast<float>(end - start);
+
+      // Accumulate gradients over the batch.
+      std::vector<Matrix> gw;
+      std::vector<std::vector<float>> gb;
+      for (const auto& layer : net.layers()) {
+        gw.emplace_back(layer.weights.rows(), layer.weights.cols());
+        gb.emplace_back(layer.bias.size(), 0.0f);
+      }
+
+      for (std::size_t idx = start; idx < end; ++idx) {
+        const std::size_t r = order[idx];
+        std::vector<float> input(x.cols());
+        for (std::size_t c = 0; c < x.cols(); ++c) input[c] = x(r, c);
+        const ForwardCache cache = forward_cached(net, input);
+        const std::vector<float> prob = softmax(cache.a.back());
+        epoch_loss += -std::log(std::max(prob[static_cast<std::size_t>(y[r])], 1e-12f));
+
+        // delta at the readout: softmax CE gradient.
+        std::vector<float> delta = prob;
+        delta[static_cast<std::size_t>(y[r])] -= 1.0f;
+
+        for (std::size_t li = nl; li-- > 0;) {
+          const DenseLayer& layer = net.layers()[li];
+          // ReLU gate (identity readout has no gate).
+          if (layer.activation == Activation::kReLU) {
+            for (std::size_t j = 0; j < delta.size(); ++j) {
+              if (cache.z[li][j] <= 0.0f) delta[j] = 0.0f;
+            }
+          }
+          const std::vector<float>& in = cache.a[li];
+          for (std::size_t j = 0; j < layer.fan_out(); ++j) {
+            gb[li][j] += delta[j];
+            for (std::size_t i = 0; i < layer.fan_in(); ++i) {
+              gw[li](j, i) += delta[j] * in[i];
+            }
+          }
+          if (li > 0) {
+            std::vector<float> prev(layer.fan_in(), 0.0f);
+            for (std::size_t i = 0; i < layer.fan_in(); ++i) {
+              float s = 0.0f;
+              for (std::size_t j = 0; j < layer.fan_out(); ++j) {
+                s += layer.weights(j, i) * delta[j];
+              }
+              prev[i] = s;
+            }
+            delta = std::move(prev);
+          }
+        }
+      }
+
+      // Adam update.
+      ++step;
+      const auto fstep = static_cast<float>(step);
+      const float corr1 = 1.0f - std::pow(b1, fstep);
+      const float corr2 = 1.0f - std::pow(b2, fstep);
+      for (std::size_t li = 0; li < nl; ++li) {
+        DenseLayer& layer = net.layers()[li];
+        AdamState& s = adam[li];
+        for (std::size_t j = 0; j < layer.fan_out(); ++j) {
+          for (std::size_t i = 0; i < layer.fan_in(); ++i) {
+            const float g = gw[li](j, i) / bsz + cfg.l2 * layer.weights(j, i);
+            float& m = s.mw(j, i);
+            float& v = s.vw(j, i);
+            m = b1 * m + (1 - b1) * g;
+            v = b2 * v + (1 - b2) * g * g;
+            layer.weights(j, i) -=
+                cfg.learning_rate * (m / corr1) / (std::sqrt(v / corr2) + eps);
+          }
+          const float g = gb[li][j] / bsz;
+          float& m = s.mb[j];
+          float& v = s.vb[j];
+          m = b1 * m + (1 - b1) * g;
+          v = b2 * v + (1 - b2) * g * g;
+          layer.bias[j] -= cfg.learning_rate * (m / corr1) / (std::sqrt(v / corr2) + eps);
+        }
+      }
+    }
+
+    const float mean_loss = static_cast<float>(epoch_loss / static_cast<double>(x.rows()));
+    result.epoch_loss.push_back(mean_loss);
+    if (cfg.verbose && epoch % 25 == 0) {
+      std::printf("epoch %4d  loss %.4f\n", epoch, static_cast<double>(mean_loss));
+    }
+  }
+  result.final_loss = result.epoch_loss.empty() ? 0.0f : result.epoch_loss.back();
+  return result;
+}
+
+double accuracy(const Mlp& net, const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("accuracy: X/y size mismatch");
+  std::size_t correct = 0;
+  std::vector<float> row(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = x(r, c);
+    if (net.predict(row) == y[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.rows());
+}
+
+double mean_cross_entropy(const Mlp& net, const Matrix& x, const std::vector<int>& y) {
+  double loss = 0.0;
+  std::vector<float> row(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = x(r, c);
+    const auto prob = softmax(net.forward(row));
+    loss += -std::log(std::max(prob[static_cast<std::size_t>(y[r])], 1e-12f));
+  }
+  return loss / static_cast<double>(x.rows());
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,37 @@
+#pragma once
+// Mini-batch Adam trainer with softmax cross-entropy loss. Stands in for the
+// paper's float32 training pipeline; only the trained weights matter
+// downstream (they get quantized for Deep Positron inference).
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace dp::nn {
+
+struct TrainConfig {
+  int epochs = 200;
+  std::size_t batch_size = 16;
+  float learning_rate = 1e-3f;
+  float l2 = 1e-4f;          ///< weight decay
+  std::uint32_t seed = 1;    ///< shuffling seed
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::vector<float> epoch_loss;  ///< mean cross-entropy per epoch
+  float final_loss = 0.0f;
+};
+
+/// Train in place. X: samples x features, y: class labels in [0, classes).
+TrainResult train(Mlp& net, const Matrix& x, const std::vector<int>& y,
+                  const TrainConfig& cfg);
+
+/// Classification accuracy in [0, 1].
+double accuracy(const Mlp& net, const Matrix& x, const std::vector<int>& y);
+
+/// Mean softmax cross-entropy of the network on (x, y).
+double mean_cross_entropy(const Mlp& net, const Matrix& x, const std::vector<int>& y);
+
+}  // namespace dp::nn

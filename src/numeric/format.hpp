@@ -1,0 +1,54 @@
+#pragma once
+// Uniform runtime descriptor over the three numerical formats compared by the
+// paper (posit / floating point / fixed-point). Used by the quantizer, the
+// EMAC factory and the experiment sweeps, which iterate over "all possible
+// combinations of [5,8] bit-widths for the three numerical formats" (§IV-B).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "numeric/fixedpoint.hpp"
+#include "numeric/minifloat.hpp"
+#include "numeric/posit.hpp"
+
+namespace dp::num {
+
+enum class Kind { kPosit, kFloat, kFixed };
+
+class Format {
+ public:
+  Format(PositFormat f);  // NOLINT(google-explicit-constructor): intended sum type
+  Format(FloatFormat f);  // NOLINT(google-explicit-constructor)
+  Format(FixedFormat f);  // NOLINT(google-explicit-constructor)
+
+  Kind kind() const;
+  int total_bits() const;
+  std::string name() const;
+
+  double max_value() const;     ///< largest finite value
+  double min_positive() const;  ///< smallest positive value
+  /// log10(max/min): the x-axis of Fig. 6.
+  double dynamic_range() const;
+
+  /// Quantize a real number: round-to-nearest-even, saturating (no Inf/NaR).
+  std::uint32_t from_double(double x) const;
+  double to_double(std::uint32_t bits) const;
+
+  const PositFormat& posit() const;  ///< throws std::bad_variant_access if not posit
+  const FloatFormat& flt() const;
+  const FixedFormat& fixed() const;
+
+  bool operator==(const Format& rhs) const { return v_ == rhs.v_; }
+
+ private:
+  std::variant<PositFormat, FloatFormat, FixedFormat> v_;
+};
+
+/// The format grid evaluated by the paper for a given total width n:
+/// posit es in {0..3} (es < n-3 so at least 1 fraction bit), float we in
+/// {2..5} (wf >= 1), fixed q in {1..n-2}.
+std::vector<Format> paper_format_grid(int n);
+
+}  // namespace dp::num

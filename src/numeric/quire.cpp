@@ -1,0 +1,138 @@
+#include "numeric/quire.hpp"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace dp::num {
+
+namespace {
+
+/// Quire register width: product span + carry headroom for `capacity` terms
+/// (the conservative form of the paper's eq. (4); see DESIGN.md §5a.2).
+std::size_t quire_bits(const PositFormat& fmt, std::size_t capacity) {
+  const auto s = static_cast<std::size_t>(fmt.max_scale());
+  const auto p = static_cast<std::size_t>(fmt.n - 2 - fmt.es);
+  return 4 * s + 2 * p + 2 + static_cast<std::size_t>(std::bit_width(capacity));
+}
+
+}  // namespace
+
+Quire::Quire(const PositFormat& fmt, std::size_t capacity)
+    : fmt_(fmt),
+      capacity_(capacity),
+      p_(fmt.n - 2 - fmt.es),
+      s_(fmt.max_scale()),
+      state_(quire_bits(fmt, capacity)) {
+  validate(fmt);
+  if (capacity == 0) throw std::invalid_argument("Quire: capacity must be >= 1");
+  if (fmt.n < fmt.es + 4) throw std::invalid_argument("Quire: requires n >= es + 4");
+}
+
+void Quire::clear() {
+  state_ = rtl::Bits(state_.width());
+  terms_ = 0;
+  nar_ = false;
+}
+
+void Quire::accumulate(bool negate_product, std::uint32_t a_bits, std::uint32_t b_bits) {
+  if (terms_ >= capacity_) throw std::logic_error("Quire: capacity exceeded");
+  ++terms_;
+  a_bits &= fmt_.mask();
+  b_bits &= fmt_.mask();
+  if (a_bits == fmt_.nar_pattern() || b_bits == fmt_.nar_pattern()) {
+    nar_ = true;
+    return;
+  }
+  if (a_bits == 0 || b_bits == 0) return;
+  const PositFields fa = posit_fields(a_bits, fmt_);
+  const PositFields fb = posit_fields(b_bits, fmt_);
+  const auto sig = [&](const PositFields& f) {
+    return (std::uint64_t{1} << (p_ - 1)) | (f.fraction << (p_ - 1 - f.nfrac));
+  };
+  const std::int64_t sf = (static_cast<std::int64_t>(fa.k) << fmt_.es) + fa.exponent +
+                          (static_cast<std::int64_t>(fb.k) << fmt_.es) + fb.exponent;
+  const std::uint64_t prod = sig(fa) * sig(fb);  // <= 2^(2P) bits, exact
+  rtl::Bits term = rtl::Bits(64, prod).resize(state_.width());
+  term = term.shl(static_cast<std::size_t>(sf + 2 * s_));
+  const bool neg = (fa.sign != fb.sign) != negate_product;
+  if (neg) term = term.negate();
+  state_ = state_ + term;
+}
+
+void Quire::add_product(std::uint32_t a_bits, std::uint32_t b_bits) {
+  accumulate(false, a_bits, b_bits);
+}
+
+void Quire::sub_product(std::uint32_t a_bits, std::uint32_t b_bits) {
+  accumulate(true, a_bits, b_bits);
+}
+
+void Quire::add_posit(std::uint32_t p_bits) {
+  // p == p * 1.0; encode 1.0 in the format (pattern 01xx..: body with k=0).
+  const std::uint32_t one = posit_from_double(1.0, fmt_);
+  accumulate(false, p_bits, one);
+}
+
+std::uint32_t Quire::to_posit() const {
+  if (nar_) return fmt_.nar_pattern();
+  if (state_.is_zero()) return fmt_.zero_pattern();
+  const bool neg = state_.msb();
+  const rtl::Bits mag = neg ? state_.negate() : state_;
+  const std::size_t msb = state_.width() - 1 - mag.lzd();
+  Unpacked u;
+  u.neg = neg;
+  u.scale = static_cast<std::int64_t>(msb) -
+            (2 * s_ + 2 * (static_cast<std::int64_t>(p_) - 1));
+  if (msb >= 63) {
+    u.frac = mag.slice(msb, msb - 63).to_u64();
+    u.sticky = msb > 63 && mag.slice(msb - 64, 0).or_reduce();
+  } else {
+    u.frac = mag.slice(msb, 0).to_u64() << (63 - msb);
+    u.sticky = false;
+  }
+  return posit_encode(u, fmt_);
+}
+
+double Quire::to_double() const {
+  if (nar_) return std::numeric_limits<double>::quiet_NaN();
+  if (state_.is_zero()) return 0.0;
+  const bool neg = state_.msb();
+  const rtl::Bits mag = neg ? state_.negate() : state_;
+  const std::size_t msb = state_.width() - 1 - mag.lzd();
+  Unpacked u;
+  u.neg = neg;
+  u.scale = static_cast<std::int64_t>(msb) -
+            (2 * s_ + 2 * (static_cast<std::int64_t>(p_) - 1));
+  if (msb >= 63) {
+    u.frac = mag.slice(msb, msb - 63).to_u64();
+    u.sticky = msb > 63 && mag.slice(msb - 64, 0).or_reduce();
+  } else {
+    u.frac = mag.slice(msb, 0).to_u64() << (63 - msb);
+    u.sticky = false;
+  }
+  return pack_double(u);
+}
+
+std::uint32_t posit_fma(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                        const PositFormat& fmt) {
+  Quire q(fmt, 2);
+  q.add_product(a, b);
+  q.add_posit(c);
+  return q.to_posit();
+}
+
+std::uint32_t posit_fdp(const std::uint32_t* a, const std::uint32_t* b, std::size_t n,
+                        const PositFormat& fmt) {
+  Quire q(fmt, n == 0 ? 1 : n);
+  for (std::size_t i = 0; i < n; ++i) q.add_product(a[i], b[i]);
+  return q.to_posit();
+}
+
+std::uint32_t posit_convert(std::uint32_t bits, const PositFormat& from,
+                            const PositFormat& to) {
+  const Decoded d = posit_decode(bits, from);
+  return posit_encode(d, to);
+}
+
+}  // namespace dp::num

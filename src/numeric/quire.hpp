@@ -1,0 +1,75 @@
+#pragma once
+// dp::num::Quire — the posit standard's exact accumulator as a first-class
+// library type (the software analogue of what the EMAC implements in
+// hardware, and of the quire in Gustafson's posit standard / Stillwater
+// universal).
+//
+// A quire for posit(n, es) holds sums of posit products exactly: every
+// operation except the final to_posit() is error-free, so dot products are
+// associative and permutation-invariant. Built on rtl::Bits so any (n, es)
+// with n <= 32 works regardless of the required register width.
+
+#include <cstdint>
+
+#include "numeric/posit.hpp"
+#include "rtl/bits.hpp"
+
+namespace dp::num {
+
+class Quire {
+ public:
+  /// A quire sized for up to `capacity` accumulated products.
+  explicit Quire(const PositFormat& fmt, std::size_t capacity = 4096);
+
+  const PositFormat& format() const { return fmt_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t terms() const { return terms_; }
+  bool is_nar() const { return nar_; }
+  bool is_zero() const { return !nar_ && state_.is_zero(); }
+
+  /// Reset to zero.
+  void clear();
+
+  /// quire += a * b (exact). NaR poisons the quire.
+  void add_product(std::uint32_t a_bits, std::uint32_t b_bits);
+
+  /// quire -= a * b (exact).
+  void sub_product(std::uint32_t a_bits, std::uint32_t b_bits);
+
+  /// quire += p (exact).
+  void add_posit(std::uint32_t p_bits);
+
+  /// Round to the nearest posit (the only inexact step).
+  std::uint32_t to_posit() const;
+
+  /// Exact value as a double (correctly rounded to double precision).
+  double to_double() const;
+
+  /// Width of the underlying register in bits.
+  std::size_t width() const { return state_.width(); }
+
+ private:
+  void accumulate(bool negate_product, std::uint32_t a_bits, std::uint32_t b_bits);
+
+  PositFormat fmt_;
+  std::size_t capacity_;
+  std::size_t terms_ = 0;
+  int p_;           // significand register width n-2-es
+  std::int64_t s_;  // max |scale factor|
+  bool nar_ = false;
+  rtl::Bits state_;
+};
+
+/// Correctly rounded fused multiply-add: round(a*b + c) with one rounding.
+std::uint32_t posit_fma(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                        const PositFormat& fmt);
+
+/// Correctly rounded fused dot product of two spans of posit patterns.
+std::uint32_t posit_fdp(const std::uint32_t* a, const std::uint32_t* b, std::size_t n,
+                        const PositFormat& fmt);
+
+/// Convert a pattern between posit formats with a single rounding.
+std::uint32_t posit_convert(std::uint32_t bits, const PositFormat& from,
+                            const PositFormat& to);
+
+}  // namespace dp::num

@@ -1,0 +1,60 @@
+// End-to-end experiment driver tests (the fast tasks only; the full Table II
+// reproduction lives in bench/bench_table2).
+
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dp::core {
+namespace {
+
+const TrainedTask& iris() {
+  static const TrainedTask task = prepare_task(iris_task());
+  return task;
+}
+
+TEST(ExperimentIris, Float32ReferenceIsStrong) {
+  // Paper Table II: 32-bit float reaches 98% on Iris.
+  EXPECT_GE(iris().float32_test_accuracy, 0.92);
+  EXPECT_EQ(iris().split.test.size(), data::kIrisTestSize);
+  EXPECT_EQ(iris().split.train.size(), 100u);
+}
+
+TEST(ExperimentIris, EightBitPositTracksFloat32) {
+  const FormatResult p8 = evaluate_format(iris(), num::Format{num::PositFormat{8, 0}});
+  EXPECT_GE(p8.accuracy, iris().float32_test_accuracy - 0.06);
+  EXPECT_NEAR(p8.degradation_points,
+              (iris().float32_test_accuracy - p8.accuracy) * 100.0, 1e-9);
+}
+
+TEST(ExperimentIris, SweepCoversGridAndBestOfKindWorks) {
+  const auto results = sweep_formats(iris(), 8);
+  EXPECT_EQ(results.size(), num::paper_format_grid(8).size());
+  const auto bp = best_of_kind(results, num::Kind::kPosit);
+  const auto bf = best_of_kind(results, num::Kind::kFloat);
+  const auto bx = best_of_kind(results, num::Kind::kFixed);
+  ASSERT_TRUE(bp && bf && bx);
+  // Paper: posit either outperforms or matches the others at 8 bits.
+  EXPECT_GE(bp->accuracy + 1e-9, bf->accuracy - 0.021);
+  EXPECT_GE(bp->accuracy + 1e-9, bx->accuracy - 0.021);
+}
+
+TEST(ExperimentTasks, SpecsAreConsistent) {
+  for (const auto& spec : paper_tasks()) {
+    EXPECT_GE(spec.topology.size(), 3u) << spec.name;
+    EXPECT_GT(spec.train_cfg.epochs, 0) << spec.name;
+  }
+  EXPECT_EQ(paper_tasks().size(), 3u);
+  EXPECT_THROW(prepare_task(TaskSpec{"nonesuch", {2, 2}, {}, 1, 1}), std::invalid_argument);
+}
+
+TEST(ExperimentMatrix, ConvertsDataset) {
+  const data::Dataset d = data::make_iris(3);
+  const nn::Matrix m = to_matrix(d);
+  EXPECT_EQ(m.rows(), d.size());
+  EXPECT_EQ(m.cols(), d.features());
+  EXPECT_FLOAT_EQ(m(0, 0), static_cast<float>(d.x[0][0]));
+}
+
+}  // namespace
+}  // namespace dp::core

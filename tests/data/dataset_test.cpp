@@ -1,0 +1,196 @@
+// Tests for the dataset generators, splitting and normalization.
+
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace dp::data {
+namespace {
+
+int count_class(const Dataset& d, int c) {
+  return static_cast<int>(std::count(d.y.begin(), d.y.end(), c));
+}
+
+TEST(Iris, ShapeAndBalance) {
+  const Dataset d = make_iris(7);
+  EXPECT_EQ(d.size(), 150u);
+  EXPECT_EQ(d.features(), 4u);
+  EXPECT_EQ(d.classes, 3);
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(count_class(d, c), 50);
+}
+
+TEST(Iris, Deterministic) {
+  const Dataset a = make_iris(7);
+  const Dataset b = make_iris(7);
+  const Dataset c = make_iris(8);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_NE(a.x, c.x);
+}
+
+TEST(Iris, ClassStatisticsMatchPublished) {
+  const Dataset d = make_iris(7);
+  // Per-class means of petal length (feature 2): setosa ~1.46, versicolor
+  // ~4.26, virginica ~5.55 (generous tolerance: 150-sample estimate).
+  const double expected[3] = {1.462, 4.260, 5.552};
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0;
+    int n = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (d.y[i] == c) {
+        sum += d.x[i][2];
+        ++n;
+      }
+    }
+    EXPECT_NEAR(sum / n, expected[c], 0.25) << "class " << c;
+  }
+}
+
+TEST(Wbc, ShapeAndPriors) {
+  const Dataset d = make_wbc(7);
+  EXPECT_EQ(d.size(), 569u);
+  EXPECT_EQ(d.features(), 30u);
+  EXPECT_EQ(d.classes, 2);
+  // Exact generative priors are 357/212; reported labels carry ~3.5% noise.
+  EXPECT_NEAR(count_class(d, 0), 357, 30);  // benign
+  EXPECT_NEAR(count_class(d, 1), 212, 30);  // malignant
+}
+
+TEST(Wbc, MalignantHasLargerRadius) {
+  const Dataset d = make_wbc(7);
+  double mb = 0, mm = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    (d.y[i] == 0 ? mb : mm) += d.x[i][0];
+  }
+  mb /= count_class(d, 0);
+  mm /= count_class(d, 1);
+  // Difficulty calibration pulls the malignant mean toward the benign one
+  // (kMeanPull = 0.55): expected ~12.15 + 0.55 * 5.31 = 15.07.
+  EXPECT_NEAR(mb, 12.15, 0.8);
+  EXPECT_NEAR(mm, 15.07, 1.0);
+  EXPECT_GT(mm, mb);
+}
+
+TEST(Wbc, WorstExceedsMean) {
+  const Dataset d = make_wbc(3);
+  for (std::size_t i = 0; i < d.size(); i += 37) {
+    for (std::size_t f = 0; f < 10; ++f) {
+      EXPECT_GT(d.x[i][20 + f], d.x[i][f]) << "worst must exceed mean, feature " << f;
+    }
+  }
+}
+
+TEST(Mushroom, ShapeAndPriors) {
+  const Dataset d = make_mushroom(7);
+  EXPECT_EQ(d.size(), 8124u);
+  EXPECT_EQ(d.features(), 119u);
+  EXPECT_EQ(d.classes, 2);
+  // Generative priors 4208/3916 with ~3% label noise on the reported labels.
+  EXPECT_NEAR(count_class(d, 0), 4208, 120);
+  EXPECT_NEAR(count_class(d, 1), 3916, 120);
+}
+
+TEST(Mushroom, RowsAreValidOneHot) {
+  // Arities of the 21 multi-valued attributes (veil-type dropped).
+  const std::vector<int> arities{6, 4, 10, 2, 9, 2, 2, 2, 12, 2, 5,
+                                 4, 4, 9, 9, 4, 3, 8, 9, 6, 7};
+  const int total = std::accumulate(arities.begin(), arities.end(), 0);
+  ASSERT_EQ(total, 119);
+  const Dataset d = make_mushroom(7);
+  for (std::size_t i = 0; i < d.size(); i += 997) {
+    std::size_t off = 0;
+    for (const int a : arities) {
+      double sum = 0;
+      for (int c = 0; c < a; ++c) {
+        const double v = d.x[i][off + static_cast<std::size_t>(c)];
+        EXPECT_TRUE(v == 0.0 || v == 1.0);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 1.0) << "attribute at offset " << off;
+      off += static_cast<std::size_t>(a);
+    }
+  }
+}
+
+TEST(Split, PaperTestSizes) {
+  const Split iris = stratified_split(make_iris(7), 1.0 / 3.0, 1);
+  EXPECT_EQ(iris.test.size(), kIrisTestSize);
+  EXPECT_EQ(iris.train.size(), 100u);
+  const Split wbc = stratified_split(make_wbc(7), 1.0 / 3.0, 1);
+  EXPECT_EQ(wbc.test.size(), kWbcTestSize);
+  EXPECT_EQ(wbc.train.size(), 379u);
+  const Split mush = stratified_split(make_mushroom(7), 1.0 / 3.0, 1);
+  EXPECT_EQ(mush.test.size(), kMushroomTestSize);
+  EXPECT_EQ(mush.train.size(), 5416u);
+}
+
+TEST(Split, StratificationPreservesPriors) {
+  const Split s = stratified_split(make_wbc(7), 1.0 / 3.0, 1);
+  const double full_prior = 357.0 / 569.0;
+  const double test_prior =
+      static_cast<double>(count_class(s.test, 0)) / static_cast<double>(s.test.size());
+  EXPECT_NEAR(test_prior, full_prior, 0.02);
+}
+
+TEST(Split, RejectsBadFraction) {
+  const Dataset d = make_iris(7);
+  EXPECT_THROW(stratified_split(d, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(stratified_split(d, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Split, NoSampleLostOrDuplicated) {
+  const Dataset d = make_iris(7);
+  const Split s = stratified_split(d, 1.0 / 3.0, 1);
+  EXPECT_EQ(s.train.size() + s.test.size(), d.size());
+  // Multiset of rows must be preserved.
+  auto key = [](const std::vector<double>& row) {
+    double h = 0;
+    for (const double v : row) h = h * 31.0 + v;
+    return h;
+  };
+  std::multiset<double> before, after;
+  for (const auto& r : d.x) before.insert(key(r));
+  for (const auto& r : s.train.x) after.insert(key(r));
+  for (const auto& r : s.test.x) after.insert(key(r));
+  EXPECT_EQ(before, after);
+}
+
+TEST(Normalize, TrainBoundsAreZeroOne) {
+  Split s = stratified_split(make_wbc(7), 1.0 / 3.0, 1);
+  minmax_normalize(s);
+  for (const auto& row : s.train.x) {
+    for (const double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+  // Test rows are clamped into [0,1] as well.
+  for (const auto& row : s.test.x) {
+    for (const double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Normalize, UsesTrainStatisticsOnly) {
+  // A feature constant in train but varying in test must map to 0.
+  Split s;
+  s.train.name = s.test.name = "t";
+  s.train.classes = s.test.classes = 2;
+  s.train.x = {{1.0, 5.0}, {2.0, 5.0}};
+  s.train.y = {0, 1};
+  s.test.x = {{1.5, 9.0}};
+  s.test.y = {0};
+  minmax_normalize(s);
+  EXPECT_DOUBLE_EQ(s.test.x[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(s.test.x[0][1], 0.0);
+}
+
+}  // namespace
+}  // namespace dp::data

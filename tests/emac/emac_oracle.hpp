@@ -1,0 +1,100 @@
+#pragma once
+// Independent exact dot-product oracle for EMAC verification.
+//
+// Operand values are recovered as doubles (exact for every format under
+// test), each product is computed exactly in double (formats are narrow
+// enough that products carry <= 52 significant bits), and the sum is
+// accumulated exactly in a 1024-bit fixed-point frame built on rtl::Bits.
+// The final rounding uses the (exhaustively tested) scalar codec encoders.
+// The summation path shares no code with the EMAC pipelines.
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "numeric/format.hpp"
+#include "rtl/bits.hpp"
+
+namespace dp::emac::testing {
+
+class ExactAccumulator {
+ public:
+  static constexpr int kFracBits = 512;  // LSB weight 2^-512
+
+  void add(double x) {
+    if (x == 0.0) return;
+    if (!std::isfinite(x)) throw std::invalid_argument("ExactAccumulator: non-finite");
+    int e = 0;
+    const double fr = std::frexp(std::fabs(x), &e);
+    const auto m = static_cast<std::uint64_t>(std::ldexp(fr, 53));  // 53-bit integer
+    const int shift = kFracBits + e - 53;
+    if (shift < 0 || shift > 900) throw std::invalid_argument("ExactAccumulator: range");
+    rtl::Bits term = rtl::Bits(1024, m).shl(static_cast<std::size_t>(shift));
+    if (x < 0) term = term.negate();
+    acc_ = acc_ + term;
+  }
+
+  bool is_zero() const { return acc_.is_zero(); }
+  bool is_neg() const { return acc_.msb(); }
+
+  /// Unpack to (neg, scale, frac64 hidden-at-63, sticky) for codec encoding.
+  num::Unpacked to_unpacked() const {
+    if (acc_.is_zero()) return {};
+    const bool neg = acc_.msb();
+    const rtl::Bits mag = neg ? acc_.negate() : acc_;
+    const std::size_t msb = 1023 - mag.lzd();
+    num::Unpacked u;
+    u.neg = neg;
+    u.scale = static_cast<std::int64_t>(msb) - kFracBits;
+    if (msb >= 63) {
+      u.frac = mag.slice(msb, msb - 63).to_u64();
+      u.sticky = msb > 63 && mag.slice(msb - 64, 0).or_reduce();
+    } else {
+      u.frac = mag.slice(msb, 0).to_u64() << (63 - msb);
+      u.sticky = false;
+    }
+    return u;
+  }
+
+  /// Exact floor(value * 2^q) as int64 (requires the result to fit).
+  std::int64_t floor_scaled(int q) const {
+    const rtl::Bits shifted = acc_.sra(static_cast<std::size_t>(kFracBits - q));
+    return shifted.resize(64).to_i64();
+  }
+
+ private:
+  rtl::Bits acc_{1024};
+};
+
+/// Correctly rounded dot product bias + sum(w[i]*a[i]) in the given format,
+/// mirroring each EMAC's documented output stage (RNE for posit/float with
+/// saturation, floor-and-clip for fixed).
+inline std::uint32_t oracle_mac(const num::Format& fmt, std::uint32_t bias_bits,
+                                std::span<const std::uint32_t> weights,
+                                std::span<const std::uint32_t> activations) {
+  if (weights.size() != activations.size()) {
+    throw std::invalid_argument("oracle_mac: length mismatch");
+  }
+  ExactAccumulator acc;
+  acc.add(fmt.to_double(bias_bits));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc.add(fmt.to_double(weights[i]) * fmt.to_double(activations[i]));
+  }
+  switch (fmt.kind()) {
+    case num::Kind::kPosit:
+      if (acc.is_zero()) return 0;
+      return num::posit_encode(acc.to_unpacked(), fmt.posit());
+    case num::Kind::kFloat:
+      if (acc.is_zero()) return num::float_zero(fmt.flt());
+      return num::float_encode(acc.to_unpacked(), fmt.flt(), num::FloatOverflow::kSaturate);
+    case num::Kind::kFixed: {
+      const auto& f = fmt.fixed();
+      const std::int64_t raw = acc.floor_scaled(f.q);
+      return num::fixed_from_raw(raw, f);
+    }
+  }
+  throw std::logic_error("oracle_mac: bad kind");
+}
+
+}  // namespace dp::emac::testing

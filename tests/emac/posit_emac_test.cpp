@@ -1,0 +1,176 @@
+// Posit-specific EMAC tests: Algorithm 1 decode equivalence, RTL-vs-fast
+// model equivalence, quire-width (eq. 4) tightness and NaR handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "emac/posit_emac.hpp"
+#include "emac_oracle.hpp"
+
+namespace dp::emac {
+namespace {
+
+std::vector<num::PositFormat> posit_formats() {
+  // es is capped at 3: es=4 at n=8 demands a quire wider than the fast
+  // model's 256-bit accumulator (the RTL model covers it; see PositEmacWide).
+  std::vector<num::PositFormat> out;
+  for (int n = 5; n <= 8; ++n) {
+    for (int es = 0; es <= std::min(n - 4, 3); ++es) out.push_back({n, es});
+  }
+  out.push_back({10, 2});
+  out.push_back({12, 1});
+  out.push_back({16, 1});
+  return out;
+}
+
+class PositDecodeRtlTest : public ::testing::TestWithParam<num::PositFormat> {};
+
+// Algorithm 1 (LZD over conditionally inverted two's complement) must agree
+// with the arithmetic field extractor for every pattern.
+TEST_P(PositDecodeRtlTest, MatchesFieldDecoder) {
+  const num::PositFormat fmt = GetParam();
+  const int p = fmt.n - 2 - fmt.es;
+  for (std::uint32_t bits = 0; bits < (1u << fmt.n); ++bits) {
+    const PositDecodeRtl got = posit_decode_rtl(rtl::Bits(fmt.n, bits), fmt);
+    if (bits == 0) {
+      EXPECT_FALSE(got.nzero);
+      continue;
+    }
+    EXPECT_TRUE(got.nzero);
+    if (bits == fmt.nar_pattern()) {
+      // Algorithm 1 does not special-case NaR; the EMAC checks it upstream.
+      continue;
+    }
+    const num::PositFields want = num::posit_fields(bits, fmt);
+    EXPECT_EQ(got.sign, want.sign) << fmt.name() << " bits=" << bits;
+    const std::int64_t want_sf =
+        (static_cast<std::int64_t>(want.k) << fmt.es) + want.exponent;
+    EXPECT_EQ(got.sf, want_sf) << fmt.name() << " bits=" << bits;
+    const std::uint64_t want_frac = (std::uint64_t{1} << (p - 1)) |
+                                    (want.fraction << (p - 1 - want.nfrac));
+    EXPECT_EQ(got.frac, want_frac) << fmt.name() << " bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, PositDecodeRtlTest, ::testing::ValuesIn(posit_formats()),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "es" +
+                                  std::to_string(info.param.es);
+                         });
+
+class PositEmacEquiv : public ::testing::TestWithParam<num::PositFormat> {};
+
+TEST_P(PositEmacEquiv, FastAndRtlModelsAreBitEquivalent) {
+  const num::PositFormat fmt = GetParam();
+  std::mt19937 rng(0xE0 + fmt.n * 8 + fmt.es);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{5}, std::size_t{33}}) {
+    PositEmacFast fast(fmt, k);
+    PositEmacRtl rtl_m(fmt, k);
+    for (int rep = 0; rep < 25; ++rep) {
+      const std::uint32_t bias = rng() & fmt.mask();
+      fast.reset(bias);
+      rtl_m.reset(bias);
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint32_t w = rng() & fmt.mask();
+        const std::uint32_t a = rng() & fmt.mask();
+        fast.step(w, a);
+        rtl_m.step(w, a);
+      }
+      ASSERT_EQ(fast.result(), rtl_m.result()) << fmt.name() << " k=" << k;
+    }
+  }
+}
+
+TEST_P(PositEmacEquiv, QuireLowBitsAlwaysZero) {
+  // Tightness of eq. (4): the conservative quire allocates 2*(P-1) bits
+  // below the paper's register span; they must never be touched because a
+  // posit's trailing fraction zeros grow exactly as fast as its scale
+  // factor shrinks.
+  const num::PositFormat fmt = GetParam();
+  const int p = fmt.n - 2 - fmt.es;
+  if (p < 2) GTEST_SKIP();
+  std::mt19937 rng(0xF00 + fmt.n);
+  const std::size_t k = 16;
+  PositEmacRtl rtl_m(fmt, k);
+  for (int rep = 0; rep < 50; ++rep) {
+    rtl_m.reset(static_cast<std::uint32_t>(rng()) & fmt.mask());
+    for (std::size_t i = 0; i < k; ++i) {
+      std::uint32_t w = rng() & fmt.mask();
+      std::uint32_t a = rng() & fmt.mask();
+      if (w == fmt.nar_pattern()) w = 0;
+      if (a == fmt.nar_pattern()) a = 0;
+      rtl_m.step(w, a);
+      const auto& q = rtl_m.quire_state();
+      ASSERT_FALSE(q.slice(2 * (p - 1) - 1, 0).or_reduce())
+          << fmt.name() << ": low quire bits set at rep " << rep;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, PositEmacEquiv, ::testing::ValuesIn(posit_formats()),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "es" +
+                                  std::to_string(info.param.es);
+                         });
+
+TEST(PositEmacNaR, PropagatesFromAnyOperand) {
+  const num::PositFormat fmt{8, 1};
+  PositEmacFast e(fmt, 4);
+  e.reset();
+  e.step(fmt.nar_pattern(), num::posit_from_double(1.0, fmt));
+  e.step(num::posit_from_double(1.0, fmt), num::posit_from_double(1.0, fmt));
+  EXPECT_EQ(e.result(), fmt.nar_pattern());
+
+  e.reset();
+  e.step(num::posit_from_double(1.0, fmt), fmt.nar_pattern());
+  EXPECT_EQ(e.result(), fmt.nar_pattern());
+
+  e.reset(fmt.nar_pattern());  // NaR bias
+  EXPECT_EQ(e.result(), fmt.nar_pattern());
+
+  e.reset();
+  EXPECT_EQ(e.result(), 0u);  // empty accumulation of zero bias
+}
+
+TEST(PositEmacNaR, RtlModelMatches) {
+  const num::PositFormat fmt{8, 1};
+  PositEmacRtl e(fmt, 4);
+  e.reset();
+  e.step(fmt.nar_pattern(), num::posit_from_double(1.0, fmt));
+  EXPECT_EQ(e.result(), fmt.nar_pattern());
+}
+
+TEST(PositEmacConfig, RejectsBadConfigs) {
+  EXPECT_THROW(PositEmacFast(num::PositFormat{5, 3}, 4), std::invalid_argument);
+  EXPECT_THROW(PositEmacFast(num::PositFormat{8, 1}, 0), std::invalid_argument);
+  EXPECT_THROW(PositEmacRtl(num::PositFormat{8, 1}, 0), std::invalid_argument);
+  // A huge quire demand must be rejected by the fast model but accepted by
+  // the RTL model (dynamic width).
+  EXPECT_THROW(PositEmacFast(num::PositFormat{32, 4}, 16), std::invalid_argument);
+  EXPECT_NO_THROW(PositEmacRtl(num::PositFormat{32, 4}, 16));
+}
+
+TEST(PositEmacWide, RtlHandlesWideFormats) {
+  // n=32, es=4 would need a > 1900-bit quire: beyond Acc256 but fine for the
+  // Bits-based model. Check it against the oracle on a short vector.
+  const num::PositFormat fmt{20, 2};
+  const num::Format f = fmt;
+  PositEmacRtl e(fmt, 8);
+  std::mt19937 rng(5);
+  std::vector<std::uint32_t> w, a;
+  for (int i = 0; i < 8; ++i) {
+    std::uint32_t x = rng() & fmt.mask(), y = rng() & fmt.mask();
+    if (x == fmt.nar_pattern()) x = 0;
+    if (y == fmt.nar_pattern()) y = 0;
+    w.push_back(x);
+    a.push_back(y);
+  }
+  e.reset();
+  for (int i = 0; i < 8; ++i) e.step(w[i], a[i]);
+  EXPECT_EQ(e.result(), testing::oracle_mac(f, 0, w, a));
+}
+
+}  // namespace
+}  // namespace dp::emac

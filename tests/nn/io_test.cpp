@@ -1,0 +1,114 @@
+// Round-trip and malformed-input tests for network serialization.
+
+#include "nn/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+namespace dp::nn {
+namespace {
+
+Mlp random_net() {
+  Mlp net({5, 7, 3}, 123);
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<float> u(-2.0f, 2.0f);
+  for (auto& layer : net.layers()) {
+    for (auto& w : layer.weights.data()) w = u(rng);
+    for (auto& b : layer.bias) b = u(rng);
+  }
+  return net;
+}
+
+TEST(NetworkIo, Float32RoundTripIsExact) {
+  const Mlp net = random_net();
+  std::stringstream ss;
+  save_network(ss, net);
+  const Mlp back = load_network(ss);
+  ASSERT_EQ(back.layers().size(), net.layers().size());
+  EXPECT_EQ(back.parameters(), net.parameters());
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    EXPECT_EQ(back.layers()[l].activation, net.layers()[l].activation);
+  }
+}
+
+TEST(NetworkIo, RoundTripPreservesPredictions) {
+  const Mlp net = random_net();
+  std::stringstream ss;
+  save_network(ss, net);
+  const Mlp back = load_network(ss);
+  std::mt19937 rng(2);
+  std::uniform_real_distribution<float> u(0.0f, 1.0f);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<float> x{u(rng), u(rng), u(rng), u(rng), u(rng)};
+    EXPECT_EQ(back.predict(x), net.predict(x));
+  }
+}
+
+TEST(NetworkIo, QuantizedRoundTrip) {
+  const Mlp net = random_net();
+  for (const num::Format fmt :
+       {num::Format{num::PositFormat{8, 1}}, num::Format{num::FloatFormat{4, 3}},
+        num::Format{num::FixedFormat{8, 6}}}) {
+    const QuantizedNetwork q = quantize(net, fmt);
+    std::stringstream ss;
+    save_quantized(ss, q);
+    const QuantizedNetwork back = load_quantized(ss);
+    EXPECT_EQ(back.format.name(), fmt.name());
+    ASSERT_EQ(back.layers.size(), q.layers.size());
+    for (std::size_t l = 0; l < q.layers.size(); ++l) {
+      EXPECT_EQ(back.layers[l].weights, q.layers[l].weights) << fmt.name();
+      EXPECT_EQ(back.layers[l].bias, q.layers[l].bias) << fmt.name();
+      EXPECT_EQ(back.layers[l].fan_in, q.layers[l].fan_in);
+      EXPECT_EQ(back.layers[l].activation, q.layers[l].activation);
+    }
+  }
+}
+
+TEST(NetworkIo, FileRoundTrip) {
+  const Mlp net = random_net();
+  const std::string path = ::testing::TempDir() + "/dpnet_io_test.dpnet";
+  save_network(path, net);
+  const Mlp back = load_network(path);
+  EXPECT_EQ(back.parameters(), net.parameters());
+  EXPECT_THROW(load_network(std::string("/nonexistent/dir/x.dpnet")), std::runtime_error);
+}
+
+TEST(NetworkIo, QuantizedRoundTripWithDoubleDigitDims) {
+  // Regression: dimensions like 16 parse differently in hex and dec; a
+  // basefield flag leaking from save (std::hex is shared stream state)
+  // corrupted the reload of any layer wider than 9.
+  Mlp net({4, 16, 12, 2}, 3);
+  const num::Format fmt = num::PositFormat{8, 0};
+  const QuantizedNetwork q = quantize(net, fmt);
+  std::stringstream ss;
+  save_quantized(ss, q);
+  const QuantizedNetwork back = load_quantized(ss);
+  ASSERT_EQ(back.layers.size(), 3u);
+  EXPECT_EQ(back.layers[0].fan_out, 16u);
+  EXPECT_EQ(back.layers[1].fan_out, 12u);
+  for (std::size_t l = 0; l < q.layers.size(); ++l) {
+    EXPECT_EQ(back.layers[l].weights, q.layers[l].weights);
+  }
+}
+
+TEST(NetworkIo, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW(load_network(empty), std::runtime_error);
+
+  std::stringstream wrong_magic("dpnet-f99 v1\n");
+  EXPECT_THROW(load_network(wrong_magic), std::runtime_error);
+
+  std::stringstream truncated("dpnet-f32 v1\nlayers 1\nlayer 2 2 relu\n1.0 2.0\n");
+  EXPECT_THROW(load_network(truncated), std::runtime_error);
+
+  std::stringstream bad_act("dpnet-f32 v1\nlayers 1\nlayer 1 1 swish\n1.0\n0.0\n");
+  EXPECT_THROW(load_network(bad_act), std::runtime_error);
+
+  std::stringstream bad_fmt("dpnet-quant v1\nformat unum 8 1\nlayers 1\n");
+  EXPECT_THROW(load_quantized(bad_fmt), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dp::nn

@@ -1,0 +1,109 @@
+// Tests for the uniform Format descriptor and the paper's format grid.
+
+#include "numeric/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace dp::num {
+namespace {
+
+TEST(Format, KindAndName) {
+  const Format p = PositFormat{8, 2};
+  const Format f = FloatFormat{4, 3};
+  const Format x = FixedFormat{8, 4};
+  EXPECT_EQ(p.kind(), Kind::kPosit);
+  EXPECT_EQ(f.kind(), Kind::kFloat);
+  EXPECT_EQ(x.kind(), Kind::kFixed);
+  EXPECT_EQ(p.total_bits(), 8);
+  EXPECT_EQ(f.total_bits(), 8);
+  EXPECT_EQ(x.total_bits(), 8);
+  EXPECT_EQ(p.name(), "posit<8,2>");
+  EXPECT_EQ(f.name(), "float<8;we=4>");
+  EXPECT_EQ(x.name(), "fixed<8;q=4>");
+}
+
+TEST(Format, AccessorsThrowOnWrongKind) {
+  const Format p = PositFormat{8, 2};
+  EXPECT_NO_THROW(p.posit());
+  EXPECT_THROW(p.flt(), std::bad_variant_access);
+  EXPECT_THROW(p.fixed(), std::bad_variant_access);
+}
+
+TEST(Format, RoundTripThroughDouble) {
+  for (const Format fmt :
+       {Format{PositFormat{8, 1}}, Format{FloatFormat{4, 3}}, Format{FixedFormat{8, 5}}}) {
+    for (const double x : {0.0, 0.5, -0.5, 1.0, -1.0, 0.124, 3.0, -2.75}) {
+      const double q = fmt.to_double(fmt.from_double(x));
+      EXPECT_NEAR(q, x, fmt.to_double(fmt.from_double(0.3)) * 0.5 + 0.26)
+          << fmt.name() << " x=" << x;
+    }
+    // Exactly representable values survive untouched.
+    EXPECT_EQ(fmt.to_double(fmt.from_double(0.5)), 0.5) << fmt.name();
+    EXPECT_EQ(fmt.to_double(fmt.from_double(-1.0)), -1.0) << fmt.name();
+  }
+}
+
+TEST(Format, SaturationNeverProducesNonFinite) {
+  for (const Format fmt :
+       {Format{PositFormat{8, 0}}, Format{FloatFormat{4, 3}}, Format{FixedFormat{8, 4}}}) {
+    for (const double x : {1e30, -1e30, 1e-30, -1e-30}) {
+      const double q = fmt.to_double(fmt.from_double(x));
+      EXPECT_TRUE(std::isfinite(q)) << fmt.name() << " x=" << x;
+    }
+    EXPECT_EQ(fmt.to_double(fmt.from_double(1e30)), fmt.max_value()) << fmt.name();
+  }
+}
+
+TEST(Format, DynamicRangeOrderingAt8Bits) {
+  // Paper (Fig. 6 discussion): at n <= 7-8, posit offers higher dynamic range
+  // than float for the right es, and both dwarf fixed-point.
+  const Format p = PositFormat{8, 2};
+  const Format f = FloatFormat{4, 3};
+  const Format x = FixedFormat{8, 4};
+  EXPECT_GT(p.dynamic_range(), f.dynamic_range());
+  EXPECT_GT(f.dynamic_range(), x.dynamic_range());
+}
+
+TEST(FormatGrid, CoversPaperSweeps) {
+  for (int n = 5; n <= 8; ++n) {
+    const auto grid = paper_format_grid(n);
+    ASSERT_FALSE(grid.empty());
+    int posits = 0, floats = 0, fixeds = 0;
+    std::set<std::string> names;
+    for (const auto& fmt : grid) {
+      EXPECT_EQ(fmt.total_bits(), n) << fmt.name();
+      names.insert(fmt.name());
+      switch (fmt.kind()) {
+        case Kind::kPosit:
+          ++posits;
+          break;
+        case Kind::kFloat:
+          ++floats;
+          break;
+        case Kind::kFixed:
+          ++fixeds;
+          break;
+      }
+    }
+    EXPECT_EQ(names.size(), grid.size()) << "duplicate formats in grid";
+    EXPECT_GE(posits, 2);
+    EXPECT_GE(floats, 2);
+    EXPECT_GE(fixeds, 2);
+  }
+  // The 8-bit grid includes the paper's best configurations es in {0..3} and
+  // we in {2..5}.
+  const auto grid8 = paper_format_grid(8);
+  int es_seen = 0, we_seen = 0;
+  for (const auto& fmt : grid8) {
+    if (fmt.kind() == Kind::kPosit) ++es_seen;
+    if (fmt.kind() == Kind::kFloat) ++we_seen;
+  }
+  EXPECT_EQ(es_seen, 4);  // es 0..3
+  EXPECT_EQ(we_seen, 4);  // we 2..5
+}
+
+}  // namespace
+}  // namespace dp::num

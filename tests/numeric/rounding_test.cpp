@@ -1,0 +1,178 @@
+// Rounding-boundary tests: for every adjacent pair of representable values
+// in a format, the exact midpoint (a dyadic rational, constructed without
+// floating-point error) must round to the even-coded neighbour, and points
+// just inside each half must round to the nearer neighbour. This pins down
+// round-to-nearest-even behaviour across the whole value set of every
+// format — the property all three EMACs rely on at their output stage.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "numeric/format.hpp"
+#include "numeric/posit.hpp"
+
+namespace dp::num {
+namespace {
+
+/// All finite values of a format in increasing order, paired with patterns.
+std::vector<std::pair<double, std::uint32_t>> value_table(const Format& fmt) {
+  std::vector<std::pair<double, std::uint32_t>> out;
+  const std::uint32_t count = 1u << fmt.total_bits();
+  for (std::uint32_t bits = 0; bits < count; ++bits) {
+    const double v = fmt.to_double(bits);
+    if (std::isfinite(v)) out.emplace_back(v, bits);
+  }
+  std::sort(out.begin(), out.end());
+  // Drop duplicate values (float formats have +0 and -0).
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const auto& a, const auto& b) { return a.first == b.first; }),
+            out.end());
+  return out;
+}
+
+class RoundingBoundary : public ::testing::TestWithParam<Format> {};
+
+TEST_P(RoundingBoundary, MidpointsGoToEvenAndHalvesToNearest) {
+  const Format fmt = GetParam();
+  const auto table = value_table(fmt);
+  ASSERT_GT(table.size(), 8u);
+
+  int ties_checked = 0;
+  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
+    const auto [lo, lo_bits] = table[i];
+    const auto [hi, hi_bits] = table[i + 1];
+    // Both neighbours are dyadic rationals exactly representable in double,
+    // and so is their midpoint (sum of doubles halved is exact here because
+    // the exponents are close and precision is tiny vs double's 53 bits).
+    const double mid = lo / 2 + hi / 2;
+    if (!(lo < mid && mid < hi)) continue;  // degenerate (shouldn't happen)
+
+    if (fmt.kind() == Kind::kPosit && lo != 0.0 && hi != 0.0 &&
+        std::fabs(hi) != std::fabs(lo) &&
+        (std::fabs(hi / lo) > 2.0 + 1e-12 || std::fabs(lo / hi) > 2.0 + 1e-12)) {
+      // Truncated-exponent boundary: adjacent posits more than 2x apart.
+      // The posit-standard bit-string rounding (as in SoftPosit/universal)
+      // puts the decision threshold at the *geometric* mean of the
+      // neighbours, not the arithmetic midpoint.
+      const double sign = lo < 0 ? -1.0 : 1.0;
+      const double gmid = sign * std::sqrt(std::fabs(lo) * std::fabs(hi));
+      ASSERT_TRUE(lo < gmid && gmid < hi);
+      EXPECT_EQ(fmt.to_double(fmt.from_double(std::nextafter(gmid, lo))), lo)
+          << fmt.name() << " below geometric threshold of (" << lo << ", " << hi << ")";
+      EXPECT_EQ(fmt.to_double(fmt.from_double(std::nextafter(gmid, hi))), hi)
+          << fmt.name() << " above geometric threshold of (" << lo << ", " << hi << ")";
+      // The exact threshold is a string-tie: goes to the even body code.
+      const std::uint32_t got = fmt.from_double(gmid);
+      EXPECT_TRUE(got == lo_bits || got == hi_bits);
+      const std::uint32_t even = (posit_abs(lo_bits, fmt.posit()) & 1u) == 0 ? lo_bits
+                                                                             : hi_bits;
+      EXPECT_EQ(got, even) << fmt.name() << " geometric tie between " << lo << " and "
+                           << hi;
+      ++ties_checked;
+      continue;
+    }
+
+    if (fmt.kind() == Kind::kPosit && (lo == 0.0 || hi == 0.0)) {
+      // Posit special rule: a nonzero value never rounds to zero — the whole
+      // open interval next to zero collapses onto +-minpos, midpoint or not.
+      const double nonzero_end = (lo == 0.0) ? hi : lo;
+      EXPECT_EQ(fmt.to_double(fmt.from_double(mid)), nonzero_end)
+          << fmt.name() << " zero-neighbourhood must round away from zero";
+      EXPECT_EQ(fmt.to_double(fmt.from_double(lo == 0.0 ? std::nextafter(mid, lo)
+                                                        : std::nextafter(mid, hi))),
+                nonzero_end)
+          << fmt.name() << " zero-neighbourhood must round away from zero";
+      ++ties_checked;
+      continue;
+    }
+
+    // Strictly-inside points round to the nearer value.
+    const double below = std::nextafter(mid, lo);
+    const double above = std::nextafter(mid, hi);
+    EXPECT_EQ(fmt.to_double(fmt.from_double(below)), lo)
+        << fmt.name() << " below-mid of (" << lo << ", " << hi << ")";
+    EXPECT_EQ(fmt.to_double(fmt.from_double(above)), hi)
+        << fmt.name() << " above-mid of (" << lo << ", " << hi << ")";
+
+    // The exact midpoint goes to the neighbour with an even code. Posit and
+    // fixed orderings are monotone in the (two's complement) pattern, so
+    // exactly one neighbour is even; the float codec ties on the fraction
+    // field. Saturation regions (beyond max) are excluded: `mid` always
+    // lies between two finite values here.
+    const std::uint32_t got = fmt.from_double(mid);
+    const double got_v = fmt.to_double(got);
+    // Compare by value (float formats may produce -0 where the table kept
+    // the +0 pattern).
+    EXPECT_TRUE(got_v == lo || got_v == hi)
+        << fmt.name() << " midpoint escaped the bracket";
+    switch (fmt.kind()) {
+      case Kind::kPosit:
+      case Kind::kFixed: {
+        const bool lo_even = (lo_bits & 1u) == 0;
+        const double want = lo_even ? lo : hi;
+        EXPECT_EQ(got_v, want) << fmt.name() << " tie between " << lo << " and " << hi;
+        break;
+      }
+      case Kind::kFloat: {
+        // Even = even fraction field of the *nearer* encoding after RNE; for
+        // adjacent floats exactly one has an even fraction except at
+        // exponent boundaries where the upper value has fraction 0 (even).
+        const FloatFields flo = float_fields(lo_bits, fmt.flt());
+        const FloatFields fhi = float_fields(hi_bits, fmt.flt());
+        const bool lo_even = (flo.fraction & 1u) == 0;
+        const bool hi_even = (fhi.fraction & 1u) == 0;
+        ASSERT_TRUE(lo_even || hi_even);
+        const double want = lo_even && !hi_even ? lo : (hi_even && !lo_even ? hi : got_v);
+        EXPECT_EQ(got_v, want) << fmt.name() << " tie between " << lo << " and " << hi;
+        break;
+      }
+    }
+    ++ties_checked;
+  }
+  EXPECT_GT(ties_checked, 20);
+}
+
+TEST_P(RoundingBoundary, ExactValuesAreFixedPoints) {
+  const Format fmt = GetParam();
+  for (const auto& [v, bits] : value_table(fmt)) {
+    const std::uint32_t back = fmt.from_double(v);
+    EXPECT_EQ(fmt.to_double(back), v) << fmt.name() << " value " << v;
+  }
+}
+
+TEST_P(RoundingBoundary, MonotoneQuantization) {
+  // Quantization must be a monotone function of the input.
+  const Format fmt = GetParam();
+  const auto table = value_table(fmt);
+  const double lo = table.front().first * 1.25;
+  const double hi = table.back().first * 1.25;
+  double prev = fmt.to_double(fmt.from_double(lo));
+  const int steps = 4000;
+  for (int i = 1; i <= steps; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / steps;
+    const double q = fmt.to_double(fmt.from_double(x));
+    EXPECT_GE(q, prev) << fmt.name() << " at x=" << x;
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, RoundingBoundary,
+                         ::testing::Values(Format{PositFormat{6, 0}}, Format{PositFormat{8, 0}},
+                                           Format{PositFormat{8, 1}}, Format{PositFormat{8, 2}},
+                                           Format{PositFormat{10, 1}},
+                                           Format{FloatFormat{3, 3}}, Format{FloatFormat{4, 3}},
+                                           Format{FloatFormat{5, 4}},
+                                           Format{FixedFormat{8, 4}}, Format{FixedFormat{8, 7}},
+                                           Format{FixedFormat{6, 2}}),
+                         [](const auto& info) {
+                           std::string s = info.param.name();
+                           for (char& c : s) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace dp::num
