@@ -1,0 +1,99 @@
+// Batched inference throughput: inferences/sec of
+// DeepPositron::predict_batch vs worker-pool size, for the three 8-bit
+// format families, with the bit-identical-results guarantee checked against
+// the single-threaded run. This is the engineering bench for the batch
+// engine (no paper counterpart; the paper reports per-inference hardware
+// latency, see bench_latency).
+//
+// Usage: bench_batch_throughput [rows] [repeats]
+//   rows    batch size (default 256)
+//   repeats timed repetitions per point, best-of (default 3)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/deep_positron.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantize.hpp"
+#include "numeric/format.hpp"
+
+namespace {
+
+using namespace dp;
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::vector<double>> random_batch(std::size_t rows, std::size_t dim) {
+  std::mt19937 rng(2019);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<std::vector<double>> xs(rows, std::vector<double>(dim));
+  for (auto& row : xs) {
+    for (double& v : row) v = u(rng);
+  }
+  return xs;
+}
+
+double best_seconds(const nn::DeepPositron& engine, const std::vector<std::vector<double>>& xs,
+                    std::size_t threads, int repeats) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    const auto out = engine.predict_batch(xs, threads);
+    const std::chrono::duration<double> dt = Clock::now() - t0;
+    if (out.size() == xs.size() && dt.count() < best) best = dt.count();
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long long rows_arg = argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 256;
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+  if (rows_arg <= 0 || rows_arg > 10'000'000 || repeats <= 0) {
+    std::fprintf(stderr, "usage: bench_batch_throughput [rows 1..10000000] [repeats>0]\n");
+    return 2;
+  }
+  const std::size_t rows = static_cast<std::size_t>(rows_arg);
+
+  // A serving-sized MLP (33k MACs/inference) so per-row EMAC work dominates
+  // pool overhead; weights are random — throughput does not depend on them.
+  const nn::Mlp net({64, 128, 128, 64, 10}, /*seed=*/7);
+  const std::vector<num::Format> formats{num::Format{num::PositFormat{8, 1}},
+                                         num::Format{num::FloatFormat{4, 3}},
+                                         num::Format{num::FixedFormat{8, 6}}};
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+
+  std::printf("bench_batch_throughput: predict_batch over %zu rows, net 64-128-128-64-10\n",
+              rows);
+  std::printf("hardware_concurrency = %u, best of %d runs per point\n\n",
+              std::thread::hardware_concurrency(), repeats);
+
+  for (const num::Format& fmt : formats) {
+    const nn::DeepPositron engine(nn::quantize(net, fmt));
+    const auto xs = random_batch(rows, net.input_dim());
+    const std::vector<int> reference = engine.predict_batch(xs, 1);
+    const double macs =
+        static_cast<double>(engine.macs_per_inference()) * static_cast<double>(rows);
+
+    std::printf("%s (%zu MACs/inference)\n", fmt.name().c_str(), engine.macs_per_inference());
+    std::printf("  %8s  %14s  %12s  %10s  %s\n", "threads", "inferences/s", "MMAC/s",
+                "speedup", "bit-identical");
+    double base = 0;
+    for (const std::size_t t : thread_counts) {
+      const bool identical = engine.predict_batch(xs, t) == reference;
+      const double secs = best_seconds(engine, xs, t, repeats);
+      const double ips = static_cast<double>(rows) / secs;
+      if (t == 1) base = ips;
+      std::printf("  %8zu  %14.1f  %12.2f  %9.2fx  %s\n", t, ips, macs / secs / 1e6,
+                  ips / base, identical ? "yes" : "NO <-- BUG");
+      if (!identical) return 1;
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -84,18 +84,20 @@ TrainedTask prepare_task(const TaskSpec& spec) {
   return out;
 }
 
-FormatResult evaluate_format(const TrainedTask& task, const num::Format& fmt) {
+FormatResult evaluate_format(const TrainedTask& task, const num::Format& fmt,
+                             std::size_t num_threads) {
   const nn::DeepPositron engine(nn::quantize(task.net, fmt));
   FormatResult r{fmt, 0, 0};
-  r.accuracy = engine.accuracy(task.split.test.x, task.split.test.y);
+  r.accuracy = engine.accuracy(task.split.test.x, task.split.test.y, num_threads);
   r.degradation_points = (task.float32_test_accuracy - r.accuracy) * 100.0;
   return r;
 }
 
-std::vector<FormatResult> sweep_formats(const TrainedTask& task, int n) {
+std::vector<FormatResult> sweep_formats(const TrainedTask& task, int n,
+                                        std::size_t num_threads) {
   std::vector<FormatResult> out;
   for (const auto& fmt : num::paper_format_grid(n)) {
-    out.push_back(evaluate_format(task, fmt));
+    out.push_back(evaluate_format(task, fmt, num_threads));
   }
   return out;
 }
@@ -112,10 +114,11 @@ std::vector<num::Format> paper_comparison_formats(int n) {
   return out;
 }
 
-std::vector<FormatResult> sweep_paper_formats(const TrainedTask& task, int n) {
+std::vector<FormatResult> sweep_paper_formats(const TrainedTask& task, int n,
+                                              std::size_t num_threads) {
   std::vector<FormatResult> out;
   for (const auto& fmt : paper_comparison_formats(n)) {
-    out.push_back(evaluate_format(task, fmt));
+    out.push_back(evaluate_format(task, fmt, num_threads));
   }
   return out;
 }

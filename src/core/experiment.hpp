@@ -51,10 +51,15 @@ struct FormatResult {
 };
 
 /// Deep Positron inference accuracy of `fmt` on the task's test split.
-FormatResult evaluate_format(const TrainedTask& task, const num::Format& fmt);
+/// `num_threads` is forwarded to the engine's batched accuracy path
+/// (0 = all hardware threads); the default keeps the historical serial
+/// evaluation. Results are bit-identical across thread counts.
+FormatResult evaluate_format(const TrainedTask& task, const num::Format& fmt,
+                             std::size_t num_threads = 1);
 
 /// Evaluate the whole paper grid at total width n.
-std::vector<FormatResult> sweep_formats(const TrainedTask& task, int n);
+std::vector<FormatResult> sweep_formats(const TrainedTask& task, int n,
+                                        std::size_t num_threads = 1);
 
 /// The format set the paper's Table II / Fig. 9 comparisons use: posit with
 /// es swept, float with we swept, fixed-point in the natural pure-fractional
@@ -64,7 +69,8 @@ std::vector<FormatResult> sweep_formats(const TrainedTask& task, int n);
 std::vector<num::Format> paper_comparison_formats(int n);
 
 /// Evaluate the paper_comparison_formats set.
-std::vector<FormatResult> sweep_paper_formats(const TrainedTask& task, int n);
+std::vector<FormatResult> sweep_paper_formats(const TrainedTask& task, int n,
+                                              std::size_t num_threads = 1);
 
 /// Best (max accuracy) result of a kind within a sweep; nullopt if absent.
 std::optional<FormatResult> best_of_kind(const std::vector<FormatResult>& results,

@@ -18,9 +18,21 @@ namespace dp::emac {
 
 /// One EMAC soft core instance, configured for a numeric format and a maximum
 /// accumulation length k (the fan-in of the neuron it serves).
+///
+/// An Emac is deliberately stateful — reset/step mutate the wide accumulator
+/// — so a unit must never be shared between threads. Code that needs
+/// concurrent accumulations (e.g. the batched inference engine) gives each
+/// worker its own unit via clone() or make_emac(); the configuration
+/// accessors (format, max_terms, accumulator_width) are const and safe to
+/// read from anywhere.
 class Emac {
  public:
   virtual ~Emac() = default;
+
+  /// A fresh, independent unit with the same configuration (format, k,
+  /// model variant) and an empty accumulator — accumulation state is NOT
+  /// copied. The per-thread replication point for parallel inference.
+  virtual std::unique_ptr<Emac> clone() const = 0;
 
   /// Begin a new accumulation, loading `bias_bits` (a value in the unit's
   /// format) into the accumulator. Mirrors the paper: "the accumulator D

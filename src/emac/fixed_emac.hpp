@@ -19,6 +19,9 @@ class FixedEmac final : public Emac {
   void reset(std::uint32_t bias_bits) override;
   void step(std::uint32_t weight_bits, std::uint32_t activation_bits) override;
   std::uint32_t result() const override;
+  std::unique_ptr<Emac> clone() const override {
+    return std::make_unique<FixedEmac>(fmt_, k_);
+  }
 
   const num::Format& format() const override { return format_; }
   std::size_t max_terms() const override { return k_; }

@@ -56,6 +56,9 @@ class PositEmacFast final : public Emac {
   void reset(std::uint32_t bias_bits) override;
   void step(std::uint32_t weight_bits, std::uint32_t activation_bits) override;
   std::uint32_t result() const override;
+  std::unique_ptr<Emac> clone() const override {
+    return std::make_unique<PositEmacFast>(fmt_, k_);
+  }
 
   const num::Format& format() const override { return format_; }
   std::size_t max_terms() const override { return k_; }
@@ -92,6 +95,9 @@ class PositEmacRtl final : public Emac {
   void reset(std::uint32_t bias_bits) override;
   void step(std::uint32_t weight_bits, std::uint32_t activation_bits) override;
   std::uint32_t result() const override;
+  std::unique_ptr<Emac> clone() const override {
+    return std::make_unique<PositEmacRtl>(fmt_, k_);
+  }
 
   const num::Format& format() const override { return format_; }
   std::size_t max_terms() const override { return k_; }

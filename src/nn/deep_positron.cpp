@@ -1,14 +1,110 @@
 #include "nn/deep_positron.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 namespace dp::nn {
+namespace {
+
+// Rows handed to a worker per queue pop. Small enough to balance uneven
+// progress, large enough that the atomic fetch_add never shows up next to
+// the EMAC matvec work.
+constexpr std::size_t kRowsPerChunk = 8;
+
+std::size_t resolve_threads(std::size_t requested, std::size_t rows) {
+  std::size_t t = requested;
+  if (t == 0) t = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // No point spawning more workers than there are chunks to hand out.
+  const std::size_t chunks = (rows + kRowsPerChunk - 1) / kRowsPerChunk;
+  return std::min(std::max<std::size_t>(chunks, 1), t);
+}
+
+/// Run fn(row, scratch) for every row in [0, rows): on the calling thread
+/// when num_threads <= 1, else on a pool of num_threads workers pulling
+/// fixed-size chunks off a shared atomic counter. Each worker owns a private
+/// Scratch, so no inference state is ever shared. The first exception thrown
+/// by any worker is rethrown on the calling thread after the pool joins.
+template <typename Fn>
+void parallel_rows(const DeepPositron& engine, std::size_t rows, std::size_t num_threads,
+                   Fn&& fn) {
+  if (rows == 0) return;
+  if (num_threads <= 1) {
+    DeepPositron::Scratch scratch = engine.make_scratch();
+    for (std::size_t i = 0; i < rows; ++i) fn(i, scratch);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto worker = [&] {
+    try {
+      DeepPositron::Scratch scratch = engine.make_scratch();
+      for (;;) {
+        const std::size_t begin = next.fetch_add(kRowsPerChunk, std::memory_order_relaxed);
+        if (begin >= rows) return;
+        const std::size_t end = std::min(rows, begin + kRowsPerChunk);
+        for (std::size_t i = begin; i < end; ++i) fn(i, scratch);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+      next.store(rows, std::memory_order_relaxed);  // drain remaining work
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads);
+  try {
+    for (std::size_t t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+  } catch (...) {
+    // Thread creation failed mid-spawn (e.g. resource exhaustion): drain the
+    // queue so the live workers finish, join them, then surface the error —
+    // destroying a joinable std::thread would terminate the process.
+    next.store(rows, std::memory_order_relaxed);
+    for (std::thread& t : pool) t.join();
+    throw;
+  }
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+DeepPositron::Scratch::Scratch(const QuantizedNetwork& net) {
+  emacs_.reserve(net.layers.size());
+  std::size_t widest = net.input_dim();
+  for (const QuantizedLayer& layer : net.layers) {
+    emacs_.push_back(emac::make_emac(net.format, layer.fan_in));
+    widest = std::max(widest, layer.fan_out);
+  }
+  act_.reserve(widest);
+  next_.reserve(widest);
+}
 
 DeepPositron::DeepPositron(QuantizedNetwork network) : net_(std::move(network)) {
   if (net_.layers.empty()) throw std::invalid_argument("DeepPositron: empty network");
-  for (const auto& layer : net_.layers) {
-    emacs_.push_back(emac::make_emac(net_.format, layer.fan_in));
-  }
+  // Fails fast on unsupported format/fan-in combinations, keeps the old
+  // engine's one-time EMAC construction cost for the Scratch-less overloads,
+  // and serves as the prototype bank that make_scratch() clones.
+  serial_scratch_ = std::make_unique<Scratch>(net_);
+}
+
+DeepPositron::Scratch DeepPositron::make_scratch() const {
+  // Clones only the units' immutable configuration, never their accumulator
+  // or buffer state, so this is safe concurrently with scalar calls that
+  // hold serial_mutex_.
+  Scratch s;
+  s.emacs_.reserve(serial_scratch_->emacs_.size());
+  for (const auto& unit : serial_scratch_->emacs_) s.emacs_.push_back(unit->clone());
+  std::size_t widest = net_.input_dim();
+  for (const QuantizedLayer& layer : net_.layers) widest = std::max(widest, layer.fan_out);
+  s.act_.reserve(widest);
+  s.next_.reserve(widest);
+  return s;
 }
 
 std::uint32_t DeepPositron::relu(std::uint32_t bits) const {
@@ -34,18 +130,19 @@ std::uint32_t DeepPositron::relu(std::uint32_t bits) const {
   throw std::logic_error("DeepPositron::relu: bad kind");
 }
 
-std::vector<std::uint32_t> DeepPositron::forward_bits(const std::vector<double>& x) const {
+void DeepPositron::forward_into(const std::vector<double>& x, Scratch& scratch) const {
   if (x.size() != net_.input_dim()) {
     throw std::invalid_argument("DeepPositron::forward: bad input size");
   }
-  std::vector<std::uint32_t> act;
-  act.reserve(x.size());
+  std::vector<std::uint32_t>& act = scratch.act_;
+  std::vector<std::uint32_t>& next = scratch.next_;
+  act.clear();
   for (const double v : x) act.push_back(net_.format.from_double(v));
 
   for (std::size_t li = 0; li < net_.layers.size(); ++li) {
     const QuantizedLayer& layer = net_.layers[li];
-    emac::Emac& unit = *emacs_[li];
-    std::vector<std::uint32_t> next(layer.fan_out);
+    emac::Emac& unit = *scratch.emacs_[li];
+    next.assign(layer.fan_out, 0);
     for (std::size_t j = 0; j < layer.fan_out; ++j) {
       unit.reset(layer.bias[j]);
       const std::uint32_t* wrow = layer.weights.data() + j * layer.fan_in;
@@ -56,21 +153,36 @@ std::vector<std::uint32_t> DeepPositron::forward_bits(const std::vector<double>&
       if (layer.activation == Activation::kReLU) out = relu(out);
       next[j] = out;
     }
-    act = std::move(next);
+    act.swap(next);
   }
-  return act;
 }
 
-std::vector<double> DeepPositron::forward(const std::vector<double>& x) const {
-  const std::vector<std::uint32_t> bits = forward_bits(x);
+std::vector<std::uint32_t> DeepPositron::forward_bits(const std::vector<double>& x,
+                                                      Scratch& scratch) const {
+  forward_into(x, scratch);
+  return scratch.act_;
+}
+
+std::vector<std::uint32_t> DeepPositron::forward_bits(const std::vector<double>& x) const {
+  const std::lock_guard<std::mutex> lock(serial_mutex_);
+  return forward_bits(x, *serial_scratch_);
+}
+
+std::vector<double> DeepPositron::forward(const std::vector<double>& x, Scratch& scratch) const {
+  forward_into(x, scratch);
   std::vector<double> out;
-  out.reserve(bits.size());
-  for (const std::uint32_t b : bits) out.push_back(net_.format.to_double(b));
+  out.reserve(scratch.act_.size());
+  for (const std::uint32_t b : scratch.act_) out.push_back(net_.format.to_double(b));
   return out;
 }
 
-int DeepPositron::predict(const std::vector<double>& x) const {
-  const std::vector<double> scores = forward(x);
+std::vector<double> DeepPositron::forward(const std::vector<double>& x) const {
+  const std::lock_guard<std::mutex> lock(serial_mutex_);
+  return forward(x, *serial_scratch_);
+}
+
+int DeepPositron::predict(const std::vector<double>& x, Scratch& scratch) const {
+  const std::vector<double> scores = forward(x, scratch);
   int best = 0;
   for (std::size_t i = 1; i < scores.size(); ++i) {
     if (scores[i] > scores[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
@@ -78,15 +190,59 @@ int DeepPositron::predict(const std::vector<double>& x) const {
   return best;
 }
 
+int DeepPositron::predict(const std::vector<double>& x) const {
+  const std::lock_guard<std::mutex> lock(serial_mutex_);
+  return predict(x, *serial_scratch_);
+}
+
+void DeepPositron::check_batch(const std::vector<std::vector<double>>& xs) const {
+  for (const std::vector<double>& row : xs) {
+    if (row.size() != net_.input_dim()) {
+      throw std::invalid_argument("DeepPositron: bad input size in batch");
+    }
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> DeepPositron::forward_bits_batch(
+    const std::vector<std::vector<double>>& xs, std::size_t num_threads) const {
+  check_batch(xs);
+  std::vector<std::vector<std::uint32_t>> out(xs.size());
+  parallel_rows(*this, xs.size(), resolve_threads(num_threads, xs.size()),
+                [&](std::size_t i, Scratch& scratch) { out[i] = forward_bits(xs[i], scratch); });
+  return out;
+}
+
+std::vector<std::vector<double>> DeepPositron::forward_batch(
+    const std::vector<std::vector<double>>& xs, std::size_t num_threads) const {
+  check_batch(xs);
+  std::vector<std::vector<double>> out(xs.size());
+  parallel_rows(*this, xs.size(), resolve_threads(num_threads, xs.size()),
+                [&](std::size_t i, Scratch& scratch) { out[i] = forward(xs[i], scratch); });
+  return out;
+}
+
+std::vector<int> DeepPositron::predict_batch(const std::vector<std::vector<double>>& xs,
+                                             std::size_t num_threads) const {
+  check_batch(xs);
+  std::vector<int> out(xs.size());
+  parallel_rows(*this, xs.size(), resolve_threads(num_threads, xs.size()),
+                [&](std::size_t i, Scratch& scratch) { out[i] = predict(xs[i], scratch); });
+  return out;
+}
+
 double DeepPositron::accuracy(const std::vector<std::vector<double>>& x,
-                              const std::vector<int>& y) const {
+                              const std::vector<int>& y, std::size_t num_threads) const {
   if (x.size() != y.size()) throw std::invalid_argument("DeepPositron::accuracy: size mismatch");
   if (x.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    if (predict(x[i]) == y[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(x.size());
+  check_batch(x);
+  std::vector<unsigned char> correct(x.size(), 0);
+  parallel_rows(*this, x.size(), resolve_threads(num_threads, x.size()),
+                [&](std::size_t i, Scratch& scratch) {
+                  correct[i] = predict(x[i], scratch) == y[i] ? 1 : 0;
+                });
+  std::size_t hits = 0;
+  for (const unsigned char c : correct) hits += c;
+  return static_cast<double>(hits) / static_cast<double>(x.size());
 }
 
 std::size_t DeepPositron::macs_per_inference() const {

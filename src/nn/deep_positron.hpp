@@ -5,9 +5,20 @@
 // network's numeric format; ReLU is used throughout except for the affine
 // readout. All arithmetic inside a neuron is exact until the single
 // EMAC rounding.
+//
+// The engine itself is immutable after construction; all mutable inference
+// state (the per-layer EMAC accumulators and activation buffers) lives in a
+// Scratch object. Single-sample calls allocate one internally, hot loops can
+// reuse one, and the *_batch entry points run a row-partitioned std::thread
+// worker pool with one Scratch per worker. Every path — single-sample,
+// single-threaded batch, multi-threaded batch — produces bit-identical
+// outputs: rows are independent and each is computed by the same
+// deterministic EMAC recurrence.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "emac/emac.hpp"
@@ -17,16 +28,37 @@ namespace dp::nn {
 
 class DeepPositron {
  public:
-  /// Builds one EMAC per layer (neurons of a layer share the unit in this
-  /// software model; hardware instantiates one per neuron — see dp::arch for
-  /// the parallel-latency model).
+  /// Per-thread mutable inference state: one EMAC per layer (neurons of a
+  /// layer share the unit in this software model; hardware instantiates one
+  /// per neuron — see dp::arch for the parallel-latency model) plus the
+  /// activation ping-pong buffers. Reusable across any number of samples;
+  /// never share one Scratch between threads.
+  class Scratch {
+   public:
+    explicit Scratch(const QuantizedNetwork& net);
+
+   private:
+    Scratch() = default;  // built empty by make_scratch(), filled via clone()
+    friend class DeepPositron;
+    std::vector<std::unique_ptr<emac::Emac>> emacs_;  // one per layer
+    std::vector<std::uint32_t> act_;                  // current activations
+    std::vector<std::uint32_t> next_;                 // next layer's outputs
+  };
+
   explicit DeepPositron(QuantizedNetwork network);
 
   const num::Format& format() const { return net_.format; }
   const QuantizedNetwork& network() const { return net_; }
 
+  /// Fresh per-thread state for the Scratch-reusing overloads, cloned from
+  /// the engine's prototype EMAC units.
+  Scratch make_scratch() const;
+
   /// Inference for one input vector (real values are quantized into the
   /// network format first, mirroring the input interface of the hardware).
+  /// Uses an internal Scratch built once at construction; concurrent calls
+  /// on a shared engine are safe but serialize on it — parallel callers
+  /// should hold their own Scratch or use the *_batch entry points.
   std::vector<std::uint32_t> forward_bits(const std::vector<double>& x) const;
 
   /// Output scores as doubles (decoded readout activations).
@@ -35,8 +67,29 @@ class DeepPositron {
   /// argmax class prediction.
   int predict(const std::vector<double>& x) const;
 
-  /// Accuracy over a dataset given as rows of doubles.
-  double accuracy(const std::vector<std::vector<double>>& x, const std::vector<int>& y) const;
+  /// Scratch-reusing variants of the single-sample entry points.
+  std::vector<std::uint32_t> forward_bits(const std::vector<double>& x, Scratch& scratch) const;
+  std::vector<double> forward(const std::vector<double>& x, Scratch& scratch) const;
+  int predict(const std::vector<double>& x, Scratch& scratch) const;
+
+  // Batched inference. Rows of `xs` are partitioned over a worker pool of
+  // `num_threads` std::threads, each with its own Scratch (per-thread
+  // quire/accumulator state). num_threads == 0 picks
+  // std::thread::hardware_concurrency(); num_threads <= 1 (or a batch of one
+  // row) runs the single-threaded fallback on the calling thread. Results
+  // are bit-identical across all thread counts.
+  std::vector<std::vector<std::uint32_t>> forward_bits_batch(
+      const std::vector<std::vector<double>>& xs, std::size_t num_threads = 0) const;
+  std::vector<std::vector<double>> forward_batch(const std::vector<std::vector<double>>& xs,
+                                                 std::size_t num_threads = 0) const;
+  std::vector<int> predict_batch(const std::vector<std::vector<double>>& xs,
+                                 std::size_t num_threads = 0) const;
+
+  /// Accuracy over a dataset given as rows of doubles. `num_threads` as in
+  /// predict_batch, except the default stays single-threaded so existing
+  /// callers keep their exact (serial) behaviour.
+  double accuracy(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+                  std::size_t num_threads = 1) const;
 
   /// Total number of MAC operations for one inference (for energy models).
   std::size_t macs_per_inference() const;
@@ -44,8 +97,19 @@ class DeepPositron {
  private:
   std::uint32_t relu(std::uint32_t bits) const;
 
+  /// Core matvec chain: quantize `x`, stream through every layer; the final
+  /// activations are left in `scratch.act_`.
+  void forward_into(const std::vector<double>& x, Scratch& scratch) const;
+
+  /// Throws std::invalid_argument unless every row of `xs` has input_dim().
+  void check_batch(const std::vector<std::vector<double>>& xs) const;
+
   QuantizedNetwork net_;
-  std::vector<std::unique_ptr<emac::Emac>> emacs_;  // one per layer
+  // State for the Scratch-less single-sample overloads: built once at
+  // construction (which also validates the format/fan-in combinations) and
+  // serialized by the mutex so a shared const engine stays race-free.
+  mutable std::mutex serial_mutex_;
+  mutable std::unique_ptr<Scratch> serial_scratch_;
 };
 
 }  // namespace dp::nn

@@ -1,0 +1,134 @@
+// Tests for the batched multi-threaded inference path: predict_batch /
+// forward_bits_batch / forward_batch must be bit-exact against the
+// per-sample scalar path for every format family and for every thread count
+// (the identical-results guarantee of the engine).
+
+#include "nn/deep_positron.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/quantize.hpp"
+
+namespace dp::nn {
+namespace {
+
+// An untrained (random-init) net is enough here: batch vs scalar equality is
+// a property of the execution engine, not of the weights.
+Mlp random_net() { return Mlp({6, 16, 8, 3}, /*seed=*/42); }
+
+std::vector<std::vector<double>> random_batch(std::size_t rows, std::size_t dim,
+                                              std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  std::vector<std::vector<double>> xs(rows, std::vector<double>(dim));
+  for (auto& row : xs) {
+    for (double& v : row) v = u(rng);
+  }
+  return xs;
+}
+
+std::vector<num::Format> formats_under_test() {
+  return {num::Format{num::PositFormat{8, 1}}, num::Format{num::PositFormat{7, 0}},
+          num::Format{num::FloatFormat{4, 3}}, num::Format{num::FixedFormat{8, 6}}};
+}
+
+TEST(BatchInference, PredictBatchMatchesScalarAcrossFormatsAndThreads) {
+  const Mlp net = random_net();
+  const auto xs = random_batch(67, net.input_dim(), 5);
+  for (const num::Format& fmt : formats_under_test()) {
+    const DeepPositron engine(quantize(net, fmt));
+    std::vector<int> scalar;
+    scalar.reserve(xs.size());
+    for (const auto& x : xs) scalar.push_back(engine.predict(x));
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      EXPECT_EQ(engine.predict_batch(xs, threads), scalar)
+          << fmt.name() << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(BatchInference, ForwardBitsBatchIsBitExactAcrossThreadCounts) {
+  const Mlp net = random_net();
+  const auto xs = random_batch(41, net.input_dim(), 9);
+  for (const num::Format& fmt : formats_under_test()) {
+    const DeepPositron engine(quantize(net, fmt));
+    std::vector<std::vector<std::uint32_t>> scalar;
+    scalar.reserve(xs.size());
+    for (const auto& x : xs) scalar.push_back(engine.forward_bits(x));
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      EXPECT_EQ(engine.forward_bits_batch(xs, threads), scalar)
+          << fmt.name() << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(BatchInference, ForwardBatchMatchesScalarScores) {
+  const Mlp net = random_net();
+  const auto xs = random_batch(23, net.input_dim(), 3);
+  const DeepPositron engine(quantize(net, num::Format{num::PositFormat{8, 1}}));
+  const auto batched = engine.forward_batch(xs, 8);
+  ASSERT_EQ(batched.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batched[i], engine.forward(xs[i])) << "row " << i;
+  }
+}
+
+TEST(BatchInference, ScratchReuseMatchesFreshScratch) {
+  const Mlp net = random_net();
+  const auto xs = random_batch(16, net.input_dim(), 7);
+  const DeepPositron engine(quantize(net, num::Format{num::FloatFormat{4, 3}}));
+  DeepPositron::Scratch scratch = engine.make_scratch();
+  for (const auto& x : xs) {
+    EXPECT_EQ(engine.forward_bits(x, scratch), engine.forward_bits(x));
+  }
+}
+
+TEST(BatchInference, AccuracyIsThreadCountInvariant) {
+  const Mlp net = random_net();
+  const auto xs = random_batch(50, net.input_dim(), 11);
+  std::vector<int> ys;
+  for (std::size_t i = 0; i < xs.size(); ++i) ys.push_back(static_cast<int>(i % 3));
+  const DeepPositron engine(quantize(net, num::Format{num::PositFormat{8, 0}}));
+  const double serial = engine.accuracy(xs, ys);
+  EXPECT_EQ(engine.accuracy(xs, ys, 2), serial);
+  EXPECT_EQ(engine.accuracy(xs, ys, 8), serial);
+}
+
+TEST(BatchInference, EmptyBatchAndDefaultThreads) {
+  const Mlp net = random_net();
+  const DeepPositron engine(quantize(net, num::Format{num::PositFormat{8, 1}}));
+  EXPECT_TRUE(engine.predict_batch({}, 4).empty());
+  // num_threads = 0 (hardware concurrency) must work on any machine.
+  const auto xs = random_batch(5, net.input_dim(), 1);
+  EXPECT_EQ(engine.predict_batch(xs, 0).size(), xs.size());
+}
+
+TEST(BatchInference, BadRowSizeThrowsFromWorkerPool) {
+  const Mlp net = random_net();
+  const DeepPositron engine(quantize(net, num::Format{num::PositFormat{8, 1}}));
+  auto xs = random_batch(12, net.input_dim(), 2);
+  xs[7].pop_back();
+  EXPECT_THROW(engine.predict_batch(xs, 4), std::invalid_argument);
+  EXPECT_THROW(engine.predict_batch(xs, 1), std::invalid_argument);
+}
+
+TEST(BatchInference, EmacCloneIsIndependent) {
+  const num::Format fmt{num::PositFormat{8, 1}};
+  const auto original = emac::make_emac(fmt, 16);
+  original->reset(fmt.from_double(1.0));
+  original->step(fmt.from_double(0.5), fmt.from_double(0.5));
+  const auto copy = original->clone();  // config only, empty accumulator
+  EXPECT_EQ(copy->max_terms(), original->max_terms());
+  EXPECT_EQ(copy->accumulator_width(), original->accumulator_width());
+  copy->reset(fmt.from_double(2.0));
+  copy->step(fmt.from_double(1.0), fmt.from_double(1.0));
+  EXPECT_EQ(fmt.to_double(copy->result()), 3.0);
+  EXPECT_EQ(fmt.to_double(original->result()), 1.25);  // untouched by the clone
+}
+
+}  // namespace
+}  // namespace dp::nn
