@@ -1,17 +1,24 @@
 // Batched inference throughput: inferences/sec of
-// DeepPositron::predict_batch vs worker-pool size, for the three 8-bit
-// format families, with the bit-identical-results guarantee checked against
-// the single-threaded run. This is the engineering bench for the batch
-// engine (no paper counterpart; the paper reports per-inference hardware
-// latency, see bench_latency).
+// DeepPositron::predict_batch vs worker-pool size, for the 8-bit format
+// families, on both matvec kernels (fused Emac::dot() row path and the
+// legacy per-MAC step() path), with the bit-identical-results guarantee
+// checked across thread counts AND across the two paths. This is the
+// engineering bench for the batch engine (no paper counterpart; the paper
+// reports per-inference hardware latency, see bench_latency).
 //
-// Usage: bench_batch_throughput [rows] [repeats]
-//   rows    batch size (default 256)
-//   repeats timed repetitions per point, best-of (default 3)
+// Besides the human-readable table, the run is dumped as machine-readable
+// JSON (default BENCH_throughput.json in the working directory) so CI can
+// archive one artifact per commit and track the perf trajectory PR-over-PR.
+//
+// Usage: bench_batch_throughput [rows] [repeats] [json_path]
+//   rows      batch size (default 256)
+//   repeats   timed repetitions per point, best-of (default 3)
+//   json_path output JSON file, "-" to disable (default BENCH_throughput.json)
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <random>
 #include <string>
 #include <thread>
@@ -49,13 +56,57 @@ double best_seconds(const nn::DeepPositron& engine, const std::vector<std::vecto
   return best;
 }
 
+struct Point {
+  std::string format;
+  const char* path;
+  std::size_t threads;
+  double inferences_per_s;
+  double mmacs_per_s;
+  double speedup_vs_1t;
+  bool bit_identical;
+};
+
+void write_json(const std::string& path, std::size_t rows, int repeats,
+                std::size_t macs_per_inference, bool paths_bit_identical,
+                const std::vector<Point>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_batch_throughput\",\n");
+  std::fprintf(f, "  \"net\": \"64-128-128-64-10\",\n");
+  std::fprintf(f, "  \"rows\": %zu,\n", rows);
+  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"macs_per_inference\": %zu,\n", macs_per_inference);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"paths_bit_identical\": %s,\n", paths_bit_identical ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"format\": \"%s\", \"path\": \"%s\", \"threads\": %zu, "
+                 "\"inferences_per_s\": %.1f, \"mmacs_per_s\": %.2f, "
+                 "\"speedup_vs_1t\": %.3f, \"bit_identical\": %s}%s\n",
+                 p.format.c_str(), p.path, p.threads, p.inferences_per_s, p.mmacs_per_s,
+                 p.speedup_vs_1t, p.bit_identical ? "true" : "false",
+                 i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const long long rows_arg = argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 256;
   const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+  const std::string json_path = argc > 3 ? argv[3] : "BENCH_throughput.json";
   if (rows_arg <= 0 || rows_arg > 10'000'000 || repeats <= 0) {
-    std::fprintf(stderr, "usage: bench_batch_throughput [rows 1..10000000] [repeats>0]\n");
+    std::fprintf(stderr,
+                 "usage: bench_batch_throughput [rows 1..10000000] [repeats>0] [json|-]\n");
     return 2;
   }
   const std::size_t rows = static_cast<std::size_t>(rows_arg);
@@ -63,9 +114,9 @@ int main(int argc, char** argv) {
   // A serving-sized MLP (33k MACs/inference) so per-row EMAC work dominates
   // pool overhead; weights are random — throughput does not depend on them.
   const nn::Mlp net({64, 128, 128, 64, 10}, /*seed=*/7);
-  const std::vector<num::Format> formats{num::Format{num::PositFormat{8, 1}},
-                                         num::Format{num::FloatFormat{4, 3}},
-                                         num::Format{num::FixedFormat{8, 6}}};
+  const std::vector<num::Format> formats{
+      num::Format{num::PositFormat{8, 0}}, num::Format{num::PositFormat{8, 1}},
+      num::Format{num::FloatFormat{4, 3}}, num::Format{num::FixedFormat{8, 6}}};
   const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
 
   std::printf("bench_batch_throughput: predict_batch over %zu rows, net 64-128-128-64-10\n",
@@ -73,27 +124,46 @@ int main(int argc, char** argv) {
   std::printf("hardware_concurrency = %u, best of %d runs per point\n\n",
               std::thread::hardware_concurrency(), repeats);
 
+  std::vector<Point> points;
+  std::size_t macs_per_inference = 0;
+  bool paths_bit_identical = true;
   for (const num::Format& fmt : formats) {
-    const nn::DeepPositron engine(nn::quantize(net, fmt));
+    const nn::DeepPositron engine(nn::quantize(net, fmt));  // fused (default)
+    const nn::DeepPositron legacy(nn::quantize(net, fmt),
+                                  nn::DeepPositron::ForwardPath::kStep);
     const auto xs = random_batch(rows, net.input_dim());
     const std::vector<int> reference = engine.predict_batch(xs, 1);
-    const double macs =
-        static_cast<double>(engine.macs_per_inference()) * static_cast<double>(rows);
+    macs_per_inference = engine.macs_per_inference();
+    const double macs = static_cast<double>(macs_per_inference) * static_cast<double>(rows);
 
-    std::printf("%s (%zu MACs/inference)\n", fmt.name().c_str(), engine.macs_per_inference());
-    std::printf("  %8s  %14s  %12s  %10s  %s\n", "threads", "inferences/s", "MMAC/s",
-                "speedup", "bit-identical");
-    double base = 0;
-    for (const std::size_t t : thread_counts) {
-      const bool identical = engine.predict_batch(xs, t) == reference;
-      const double secs = best_seconds(engine, xs, t, repeats);
-      const double ips = static_cast<double>(rows) / secs;
-      if (t == 1) base = ips;
-      std::printf("  %8zu  %14.1f  %12.2f  %9.2fx  %s\n", t, ips, macs / secs / 1e6,
-                  ips / base, identical ? "yes" : "NO <-- BUG");
-      if (!identical) return 1;
+    const bool paths_match = legacy.predict_batch(xs, 1) == reference;
+    if (!paths_match) paths_bit_identical = false;
+    std::printf("%s (%zu MACs/inference)  fused-vs-step bit-identical: %s\n",
+                fmt.name().c_str(), macs_per_inference, paths_match ? "yes" : "NO <-- BUG");
+
+    for (const auto& [engine_ref, path_name] :
+         {std::pair<const nn::DeepPositron&, const char*>{engine, "fused"},
+          std::pair<const nn::DeepPositron&, const char*>{legacy, "step"}}) {
+      std::printf("  [%s]\n", path_name);
+      std::printf("  %8s  %14s  %12s  %10s  %s\n", "threads", "inferences/s", "MMAC/s",
+                  "speedup", "bit-identical");
+      double base = 0;
+      for (const std::size_t t : thread_counts) {
+        const bool identical = engine_ref.predict_batch(xs, t) == reference;
+        const double secs = best_seconds(engine_ref, xs, t, repeats);
+        const double ips = static_cast<double>(rows) / secs;
+        if (t == 1) base = ips;
+        std::printf("  %8zu  %14.1f  %12.2f  %9.2fx  %s\n", t, ips, macs / secs / 1e6,
+                    ips / base, identical ? "yes" : "NO <-- BUG");
+        points.push_back({fmt.name(), path_name, t, ips, macs / secs / 1e6, ips / base,
+                          identical});
+        if (!identical) return 1;
+      }
     }
     std::printf("\n");
   }
-  return 0;
+  if (json_path != "-") {
+    write_json(json_path, rows, repeats, macs_per_inference, paths_bit_identical, points);
+  }
+  return paths_bit_identical ? 0 : 1;
 }

@@ -1,13 +1,22 @@
 // Google-benchmark microbenchmarks of the software EMAC models: throughput
-// of the functional (fast) units used by the inference engine and of the
-// bit-accurate RTL model, plus the scalar posit codec.
+// of the functional (fast) units used by the inference engine — both the
+// per-MAC step() recurrence and the fused pre-decoded dot() row kernel —
+// of the bit-accurate RTL model, and of the scalar posit codec.
+//
+// Unless the caller passes --benchmark_out themselves, results are also
+// written as JSON to BENCH_emac_micro.json in the working directory so CI
+// can archive them per commit (same contract as bench_batch_throughput).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "emac/emac.hpp"
+#include "emac/fixed_emac.hpp"
+#include "emac/float_emac.hpp"
 #include "emac/posit_emac.hpp"
 #include "numeric/posit.hpp"
 
@@ -45,6 +54,41 @@ void BM_PositEmacFast(benchmark::State& state) {
                  [](const num::Format& f, std::size_t k) { return emac::make_emac(f, k); });
 }
 BENCHMARK(BM_PositEmacFast)->Arg(0)->Arg(1)->Arg(2);
+
+/// Fused row path: one dot() per iteration over pre-decoded planes — the
+/// per-neuron call pattern of the DeepPositron engine's hot loop.
+template <typename MakeEmac>
+void run_dot_bench(benchmark::State& state, const num::Format& fmt, MakeEmac make) {
+  constexpr std::size_t kK = 64;
+  const auto w = random_patterns(fmt.total_bits(), kK, num::PositFormat{8, 0}.nar_pattern());
+  const auto a = random_patterns(fmt.total_bits(), kK, num::PositFormat{8, 0}.nar_pattern());
+  auto emac = make(fmt, kK);
+  std::vector<emac::DecodedOp> wd(kK), ad(kK);
+  emac->decode_plane(w.data(), kK, wd.data());
+  emac->decode_plane(a.data(), kK, ad.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emac->dot(0, wd.data(), ad.data(), kK));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kK));
+}
+
+void BM_PositEmacFastDot(benchmark::State& state) {
+  run_dot_bench(state, num::Format{num::PositFormat{8, static_cast<int>(state.range(0))}},
+                [](const num::Format& f, std::size_t k) { return emac::make_emac(f, k); });
+}
+BENCHMARK(BM_PositEmacFastDot)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FloatEmacDot(benchmark::State& state) {
+  run_dot_bench(state, num::Format{num::FloatFormat{4, 3}},
+                [](const num::Format& f, std::size_t k) { return emac::make_emac(f, k); });
+}
+BENCHMARK(BM_FloatEmacDot);
+
+void BM_FixedEmacDot(benchmark::State& state) {
+  run_dot_bench(state, num::Format{num::FixedFormat{8, 4}},
+                [](const num::Format& f, std::size_t k) { return emac::make_emac(f, k); });
+}
+BENCHMARK(BM_FixedEmacDot);
 
 void BM_PositEmacRtl(benchmark::State& state) {
   run_emac_bench(state, num::Format{num::PositFormat{8, static_cast<int>(state.range(0))}},
@@ -104,4 +148,26 @@ BENCHMARK(BM_PositFromDouble);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to a JSON dump alongside the console reporter unless the caller
+  // configured their own output.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_emac_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  bool has_out_format = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_out_format", 22) == 0) has_out_format = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    if (!has_out_format) args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,7 @@
 // Only the operations the EMACs need are provided: signed add of a shifted
 // 128-bit product, negation, sign test, leading-zero count and bit slicing.
 
+#include <bit>
 #include <cstdint>
 #include <stdexcept>
 
@@ -47,18 +48,20 @@ struct Acc256 {
 
   /// Position of the most significant set bit, or -1 if zero.
   int msb() const {
-    for (int i = 255; i >= 0; --i) {
-      if (bit(i)) return i;
+    for (int i = 3; i >= 0; --i) {
+      if (w[i]) return (i << 6) + 63 - std::countl_zero(w[i]);
     }
     return -1;
   }
 
   /// OR-reduce of bits [0, count).
   bool any_below(int count) const {
-    for (int i = 0; i < count; ++i) {
-      if (bit(i)) return true;
+    const int limbs = count >> 6;
+    for (int i = 0; i < limbs; ++i) {
+      if (w[i]) return true;
     }
-    return false;
+    const int rem = count & 63;
+    return rem != 0 && (w[limbs] & ((std::uint64_t{1} << rem) - 1)) != 0;
   }
 
   /// Extract 64 bits starting at `pos` (little-endian), pos+63 <= 255.

@@ -14,25 +14,6 @@ namespace {
 /// Significand register width (hidden + fraction bits): n - 2 - es.
 int sig_width(const num::PositFormat& fmt) { return fmt.n - 2 - fmt.es; }
 
-/// Decoded (sign, sf, F) with F an integer in [2^(P-1), 2^P) such that
-/// value = F * 2^(sf - (P-1)). Returns false for the zero pattern.
-struct Operand {
-  bool sign;
-  std::int64_t sf;
-  std::uint64_t sig;
-};
-
-bool decode_operand(std::uint32_t bits, const num::PositFormat& fmt, Operand& out) {
-  bits &= fmt.mask();
-  if (bits == fmt.zero_pattern()) return false;
-  const num::PositFields f = num::posit_fields(bits, fmt);
-  const int p = sig_width(fmt);
-  out.sign = f.sign;
-  out.sf = (static_cast<std::int64_t>(f.k) << fmt.es) + f.exponent;
-  out.sig = (std::uint64_t{1} << (p - 1)) | (f.fraction << (p - 1 - f.nfrac));
-  return true;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -117,25 +98,17 @@ PositEmacFast::PositEmacFast(const num::PositFormat& fmt, std::size_t k)
     throw std::invalid_argument("PositEmacFast: quire exceeds 250 bits; use PositEmacRtl");
   }
   // Decode lookup table: inference pushes millions of operands through the
-  // unit, and field extraction dominates otherwise (n <= 16 keeps it small).
-  if (fmt.n <= 16) {
-    lut_.resize(std::size_t{1} << fmt.n);
-    for (std::uint32_t bits = 0; bits < lut_.size(); ++bits) {
-      LutEntry& e = lut_[bits];
-      if (bits == fmt.zero_pattern()) {
-        e.kind = LutEntry::kZero;
-      } else if (bits == fmt.nar_pattern()) {
-        e.kind = LutEntry::kNaR;
-      } else {
-        Operand op;
-        decode_operand(bits, fmt, op);
-        e.kind = LutEntry::kFinite;
-        e.sign = op.sign;
-        e.sf = static_cast<std::int32_t>(op.sf);
-        e.sig = op.sig;
-      }
-    }
-  }
+  // unit, and field extraction dominates otherwise. Shared process-wide —
+  // clone() and sibling units reuse the same immutable table (n <= 16 keeps
+  // it small; wider formats decode per operand).
+  lut_ = shared_decode_lut(format_);
+  // Narrowest Kulisch register covering the eq. (4)-style bound for the
+  // fused dot() path (the step() path keeps the 256-bit register so its
+  // state layout is unchanged).
+  const std::size_t need =
+      4 * static_cast<std::size_t>(s_) + 2 * static_cast<std::size_t>(p_) +
+      static_cast<std::size_t>(std::bit_width(k)) + 2;
+  acc_kind_ = select_acc_kind(need);
 }
 
 void PositEmacFast::accumulate(bool sign, std::uint64_t sig, std::int64_t shift) {
@@ -152,8 +125,8 @@ void PositEmacFast::reset(std::uint32_t bias_bits) {
     nar_ = true;
     return;
   }
-  Operand b;
-  if (decode_operand(bias_bits, fmt_, b)) {
+  num::PositRawDecode b;
+  if (num::posit_decode_raw(bias_bits, fmt_, b)) {
     // Bias value = F * 2^(sf - (P-1)); quire LSB weight is 2^(-2S - 2(P-1)),
     // so the integer image is F << (sf + 2S + P - 1).
     accumulate(b.sign, b.sig, b.sf + 2 * s_ + p_ - 1);
@@ -163,14 +136,14 @@ void PositEmacFast::reset(std::uint32_t bias_bits) {
 void PositEmacFast::step(std::uint32_t weight_bits, std::uint32_t activation_bits) {
   if (steps_ >= k_) throw std::logic_error("PositEmacFast: more than k accumulation steps");
   ++steps_;
-  if (!lut_.empty()) {
-    const LutEntry& w = lut_[weight_bits & fmt_.mask()];
-    const LutEntry& a = lut_[activation_bits & fmt_.mask()];
-    if (w.kind == LutEntry::kNaR || a.kind == LutEntry::kNaR) {
+  if (lut_) {
+    const DecodedOp& w = (*lut_)[weight_bits & fmt_.mask()];
+    const DecodedOp& a = (*lut_)[activation_bits & fmt_.mask()];
+    if (w.kind == DecodedOp::kNaR || a.kind == DecodedOp::kNaR) {
       nar_ = true;
       return;
     }
-    if (w.kind == LutEntry::kZero || a.kind == LutEntry::kZero) return;
+    if (w.kind == DecodedOp::kZero || a.kind == DecodedOp::kZero) return;
     accumulate(w.sign != a.sign, w.sig * a.sig,
                static_cast<std::int64_t>(w.sf) + a.sf + 2 * s_);
     return;
@@ -180,11 +153,12 @@ void PositEmacFast::step(std::uint32_t weight_bits, std::uint32_t activation_bit
     nar_ = true;
     return;
   }
-  Operand w, a;
-  if (!decode_operand(weight_bits, fmt_, w)) return;
-  if (!decode_operand(activation_bits, fmt_, a)) return;
+  num::PositRawDecode w, a;
+  if (!num::posit_decode_raw(weight_bits, fmt_, w)) return;
+  if (!num::posit_decode_raw(activation_bits, fmt_, a)) return;
   // Product = (Fw*Fa) * 2^(sfw + sfa - 2(P-1)); biased shift = sf + 2S >= 0.
-  accumulate(w.sign != a.sign, w.sig * a.sig, w.sf + a.sf + 2 * s_);
+  accumulate(w.sign != a.sign, w.sig * a.sig,
+             static_cast<std::int64_t>(w.sf) + a.sf + 2 * s_);
 }
 
 std::uint32_t PositEmacFast::result() const {
@@ -207,6 +181,61 @@ std::uint32_t PositEmacFast::result() const {
 }
 
 std::size_t PositEmacFast::accumulator_width() const { return quire_width_eq4(fmt_, k_); }
+
+void PositEmacFast::decode_plane(const std::uint32_t* bits, std::size_t count,
+                                 DecodedOp* out) const {
+  decode_plane_with(lut_.get(), format_, fmt_.mask(), bits, count, out);
+}
+
+template <typename Acc>
+std::uint32_t PositEmacFast::dot_impl(std::uint32_t bias_bits, const DecodedOp* weights,
+                                      const DecodedOp* activations,
+                                      std::size_t count) const {
+  // NaR is sticky in the step() recurrence and result() then ignores the
+  // accumulator entirely, so returning the moment one shows up is
+  // bit-identical to finishing the loop.
+  if ((bias_bits & fmt_.mask()) == fmt_.nar_pattern()) return fmt_.nar_pattern();
+  Acc acc;
+  num::PositRawDecode b;
+  if (num::posit_decode_raw(bias_bits, fmt_, b)) {
+    acc.add_product(b.sign ? -static_cast<std::int64_t>(b.sig)
+                           : static_cast<std::int64_t>(b.sig),
+                    static_cast<int>(b.sf + 2 * s_ + p_ - 1));
+  }
+  // Branch-free row: zero/NaR operands carry ssig == 0, so their pair
+  // contributes nothing to the register; NaR-ness is OR-accumulated through
+  // the kind bits and resolved once after the loop (NaR is sticky in the
+  // step() recurrence and overrides the accumulator, so this is
+  // bit-identical). The shift of a degenerate pair still lands inside the
+  // selected register: |sf| <= S for every entry, zero/NaR entries read 0.
+  const std::int32_t sf_bias = static_cast<std::int32_t>(2 * s_);
+  unsigned kinds = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const DecodedOp& w = weights[i];
+    const DecodedOp& a = activations[i];
+    kinds |= static_cast<unsigned>(w.kind) | static_cast<unsigned>(a.kind);
+    acc.add_product(w.ssig * a.ssig, static_cast<int>(w.sf + a.sf + sf_bias));
+  }
+  if (kinds & DecodedOp::kNaR) return fmt_.nar_pattern();
+  if (acc.is_zero()) return fmt_.zero_pattern();
+  num::Unpacked u;
+  acc.readout(u, 2 * s_ + 2 * (p_ - 1));
+  return num::posit_encode(u, fmt_);
+}
+
+std::uint32_t PositEmacFast::dot(std::uint32_t bias_bits, const DecodedOp* weights,
+                                 const DecodedOp* activations, std::size_t count) {
+  if (count > k_) throw std::logic_error("PositEmacFast::dot: more than k terms");
+  switch (acc_kind_) {
+    case AccKind::kI64:
+      return dot_impl<AccKulisch64>(bias_bits, weights, activations, count);
+    case AccKind::kI128:
+      return dot_impl<AccKulisch128>(bias_bits, weights, activations, count);
+    case AccKind::kWide:
+      return dot_impl<AccKulischWide>(bias_bits, weights, activations, count);
+  }
+  throw std::logic_error("PositEmacFast::dot: bad accumulator kind");
+}
 
 // ---------------------------------------------------------------------------
 // PositEmacRtl.

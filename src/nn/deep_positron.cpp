@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -74,37 +76,60 @@ void parallel_rows(const DeepPositron& engine, std::size_t rows, std::size_t num
 
 }  // namespace
 
+namespace {
+
+/// DP_FORCE_STEP_PATH=1 (any value other than unset/empty/"0") forces every
+/// engine onto the legacy per-MAC step() path — the no-rebuild cross-check
+/// knob documented in docs/reproducing.md.
+bool step_path_forced() {
+  const char* v = std::getenv("DP_FORCE_STEP_PATH");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
+
 DeepPositron::Scratch::Scratch(const QuantizedNetwork& net) {
   emacs_.reserve(net.layers.size());
   std::size_t widest = net.input_dim();
+  std::size_t widest_in = net.input_dim();
   for (const QuantizedLayer& layer : net.layers) {
     emacs_.push_back(emac::make_emac(net.format, layer.fan_in));
     widest = std::max(widest, layer.fan_out);
+    widest_in = std::max(widest_in, layer.fan_in);
   }
   act_.reserve(widest);
   next_.reserve(widest);
+  act_dec_.reserve(widest_in);
 }
 
-DeepPositron::DeepPositron(QuantizedNetwork network) : net_(std::move(network)) {
+DeepPositron::DeepPositron(QuantizedNetwork network, ForwardPath path)
+    : net_(std::move(network)), path_(step_path_forced() ? ForwardPath::kStep : path) {
   if (net_.layers.empty()) throw std::invalid_argument("DeepPositron: empty network");
   // Fails fast on unsupported format/fan-in combinations, keeps the old
   // engine's one-time EMAC construction cost for the Scratch-less overloads,
   // and serves as the prototype bank that make_scratch() clones.
   serial_scratch_ = std::make_unique<Scratch>(net_);
+  // Decode every layer's static weight memory once, up front. The planes are
+  // immutable and shared read-only across all Scratches/threads. A step-path
+  // engine never reads them, so it skips the build (a DecodedOp is 8x the
+  // raw pattern size — not worth holding for a cross-check engine).
+  if (path_ == ForwardPath::kFused) {
+    weight_planes_.resize(net_.layers.size());
+    for (std::size_t li = 0; li < net_.layers.size(); ++li) {
+      const QuantizedLayer& layer = net_.layers[li];
+      weight_planes_[li].resize(layer.weights.size());
+      serial_scratch_->emacs_[li]->decode_plane(layer.weights.data(), layer.weights.size(),
+                                                weight_planes_[li].data());
+    }
+  }
 }
 
 DeepPositron::Scratch DeepPositron::make_scratch() const {
-  // Clones only the units' immutable configuration, never their accumulator
-  // or buffer state, so this is safe concurrently with scalar calls that
-  // hold serial_mutex_.
-  Scratch s;
-  s.emacs_.reserve(serial_scratch_->emacs_.size());
-  for (const auto& unit : serial_scratch_->emacs_) s.emacs_.push_back(unit->clone());
-  std::size_t widest = net_.input_dim();
-  for (const QuantizedLayer& layer : net_.layers) widest = std::max(widest, layer.fan_out);
-  s.act_.reserve(widest);
-  s.next_.reserve(widest);
-  return s;
+  // Fresh units carry only immutable configuration (the decode tables come
+  // from the shared registry, so construction is cheap), never accumulator
+  // or buffer state — safe concurrently with scalar calls holding
+  // serial_mutex_.
+  return Scratch(net_);
 }
 
 std::uint32_t DeepPositron::relu(std::uint32_t bits) const {
@@ -139,19 +164,35 @@ void DeepPositron::forward_into(const std::vector<double>& x, Scratch& scratch) 
   act.clear();
   for (const double v : x) act.push_back(net_.format.from_double(v));
 
+  const bool fused = path_ == ForwardPath::kFused;
   for (std::size_t li = 0; li < net_.layers.size(); ++li) {
     const QuantizedLayer& layer = net_.layers[li];
     emac::Emac& unit = *scratch.emacs_[li];
     next.assign(layer.fan_out, 0);
-    for (std::size_t j = 0; j < layer.fan_out; ++j) {
-      unit.reset(layer.bias[j]);
-      const std::uint32_t* wrow = layer.weights.data() + j * layer.fan_in;
-      for (std::size_t i = 0; i < layer.fan_in; ++i) {
-        unit.step(wrow[i], act[i]);
+    if (fused) {
+      // Decode this layer's activation vector once for all fan_out neurons;
+      // the static weights were decoded once at engine construction.
+      std::vector<emac::DecodedOp>& adec = scratch.act_dec_;
+      adec.resize(layer.fan_in);
+      unit.decode_plane(act.data(), layer.fan_in, adec.data());
+      const emac::DecodedOp* wplane = weight_planes_[li].data();
+      for (std::size_t j = 0; j < layer.fan_out; ++j) {
+        std::uint32_t out =
+            unit.dot(layer.bias[j], wplane + j * layer.fan_in, adec.data(), layer.fan_in);
+        if (layer.activation == Activation::kReLU) out = relu(out);
+        next[j] = out;
       }
-      std::uint32_t out = unit.result();
-      if (layer.activation == Activation::kReLU) out = relu(out);
-      next[j] = out;
+    } else {
+      for (std::size_t j = 0; j < layer.fan_out; ++j) {
+        unit.reset(layer.bias[j]);
+        const std::uint32_t* wrow = layer.weights.data() + j * layer.fan_in;
+        for (std::size_t i = 0; i < layer.fan_in; ++i) {
+          unit.step(wrow[i], act[i]);
+        }
+        std::uint32_t out = unit.result();
+        if (layer.activation == Activation::kReLU) out = relu(out);
+        next[j] = out;
+      }
     }
     act.swap(next);
   }

@@ -28,6 +28,16 @@ namespace dp::nn {
 
 class DeepPositron {
  public:
+  /// Which matvec kernel forward_into() drives.
+  ///  * kFused — one Emac::dot() call per neuron against the engine's
+  ///    pre-decoded weight planes and a per-sample pre-decoded activation
+  ///    vector (the hot path; bit-identical to kStep, see
+  ///    tests/nn/fused_path_test.cpp).
+  ///  * kStep — the legacy reset/step*k/result recurrence, one virtual call
+  ///    per MAC. Kept for cross-checking; also forced for every engine by
+  ///    setting the environment variable DP_FORCE_STEP_PATH=1.
+  enum class ForwardPath { kFused, kStep };
+
   /// Per-thread mutable inference state: one EMAC per layer (neurons of a
   /// layer share the unit in this software model; hardware instantiates one
   /// per neuron — see dp::arch for the parallel-latency model) plus the
@@ -38,14 +48,16 @@ class DeepPositron {
     explicit Scratch(const QuantizedNetwork& net);
 
    private:
-    Scratch() = default;  // built empty by make_scratch(), filled via clone()
     friend class DeepPositron;
     std::vector<std::unique_ptr<emac::Emac>> emacs_;  // one per layer
     std::vector<std::uint32_t> act_;                  // current activations
     std::vector<std::uint32_t> next_;                 // next layer's outputs
+    std::vector<emac::DecodedOp> act_dec_;            // pre-decoded activations
   };
 
-  explicit DeepPositron(QuantizedNetwork network);
+  explicit DeepPositron(QuantizedNetwork network, ForwardPath path = ForwardPath::kFused);
+
+  ForwardPath forward_path() const { return path_; }
 
   const num::Format& format() const { return net_.format; }
   const QuantizedNetwork& network() const { return net_; }
@@ -105,6 +117,11 @@ class DeepPositron {
   void check_batch(const std::vector<std::vector<double>>& xs) const;
 
   QuantizedNetwork net_;
+  ForwardPath path_;
+  // Pre-decoded weight planes, one per layer, row-major like the raw
+  // patterns: the static weight memories are decoded exactly once at
+  // construction and shared read-only by every Scratch on every thread.
+  std::vector<std::vector<emac::DecodedOp>> weight_planes_;
   // State for the Scratch-less single-sample overloads: built once at
   // construction (which also validates the format/fan-in combinations) and
   // serialized by the mutex so a shared const engine stays race-free.

@@ -52,6 +52,20 @@ std::uint32_t float_pack_fields(const FloatFields& f, const FloatFormat& fmt) {
          static_cast<std::uint32_t>(f.fraction & ((std::uint64_t{1} << fmt.wf) - 1));
 }
 
+FloatRawDecode float_decode_raw(std::uint32_t bits, const FloatFormat& fmt) {
+  const FloatFields f = float_fields(bits, fmt);
+  FloatRawDecode out;
+  out.sign = f.sign;
+  if (f.exponent == 0) {
+    out.sig = f.fraction;  // subnormal: hidden bit 0, effective exponent 1
+    out.exp = 1;
+  } else {
+    out.sig = (std::uint64_t{1} << fmt.wf) | f.fraction;
+    out.exp = static_cast<std::int32_t>(f.exponent);
+  }
+  return out;
+}
+
 Decoded float_decode(std::uint32_t bits, const FloatFormat& fmt) {
   const FloatFields f = float_fields(bits, fmt);
   Decoded out;

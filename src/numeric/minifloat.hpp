@@ -56,6 +56,18 @@ struct FloatFields {
 FloatFields float_fields(std::uint32_t bits, const FloatFormat& fmt);
 std::uint32_t float_pack_fields(const FloatFields& f, const FloatFormat& fmt);
 
+/// Hardware-frame decode used by the EMAC datapaths: significand with the
+/// hidden bit applied (clear for subnormals, so sig == 0 iff the value is a
+/// signed zero) and the effective biased exponent (subnormals read as 1).
+/// value = (-1)^sign * sig * 2^(exp - bias - wf). Inf/NaN patterns decode as
+/// huge finite values — they are outside the EMAC input contract.
+struct FloatRawDecode {
+  bool sign = false;
+  std::int32_t exp = 0;
+  std::uint64_t sig = 0;
+};
+FloatRawDecode float_decode_raw(std::uint32_t bits, const FloatFormat& fmt);
+
 /// Decode. kZero/kFinite/kInf/kNaN possible; sign of zero/inf preserved in
 /// `v.neg` even for non-finite classes.
 Decoded float_decode(std::uint32_t bits, const FloatFormat& fmt);

@@ -82,6 +82,17 @@ PositFields posit_fields(std::uint32_t bits, const PositFormat& fmt) {
   return out;
 }
 
+bool posit_decode_raw(std::uint32_t bits, const PositFormat& fmt, PositRawDecode& out) {
+  bits &= fmt.mask();
+  if (bits == fmt.zero_pattern()) return false;
+  const PositFields f = posit_fields(bits, fmt);
+  const int p = fmt.n - 2 - fmt.es;  // significand register width
+  out.sign = f.sign;
+  out.sf = static_cast<std::int32_t>((static_cast<std::int64_t>(f.k) << fmt.es) + f.exponent);
+  out.sig = (std::uint64_t{1} << (p - 1)) | (f.fraction << (p - 1 - f.nfrac));
+  return true;
+}
+
 Decoded posit_decode(std::uint32_t bits, const PositFormat& fmt) {
   validate(fmt);
   bits &= fmt.mask();

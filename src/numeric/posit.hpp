@@ -67,6 +67,21 @@ Decoded posit_decode(std::uint32_t bits, const PositFormat& fmt);
 /// Extract raw fields (pattern must not be zero/NaR).
 PositFields posit_fields(std::uint32_t bits, const PositFormat& fmt);
 
+/// Hardware-frame decode used by the EMAC datapaths: value =
+/// (-1)^sign * sig * 2^(sf - (P-1)) with P = n - 2 - es the significand
+/// register width, sig in [2^(P-1), 2^P) (hidden bit set) and sf the fused
+/// {regime, exponent} scale factor.
+struct PositRawDecode {
+  bool sign = false;
+  std::int32_t sf = 0;
+  std::uint64_t sig = 0;
+};
+
+/// Decode a finite pattern into the hardware frame. Returns false for the
+/// zero pattern; the NaR pattern must be screened by the caller (it has no
+/// fields). Requires n >= es + 4 so the significand register is non-empty.
+bool posit_decode_raw(std::uint32_t bits, const PositFormat& fmt, PositRawDecode& out);
+
 /// Encode with round-to-nearest-even; saturates at maxpos/minpos.
 /// A zero Decoded (cls == kZero) encodes to 0; NaR encodes to the NaR pattern.
 std::uint32_t posit_encode(const Decoded& value, const PositFormat& fmt);
