@@ -9,7 +9,7 @@
 
 #include "core/experiment.hpp"
 #include "emac/naive_mac.hpp"
-#include "nn/deep_positron.hpp"
+#include "runtime/session.hpp"
 
 namespace {
 
@@ -111,8 +111,11 @@ int main() {
       }
       ++li;
     }
-    const nn::DeepPositron engine(std::move(q));
-    const double trunc = engine.accuracy(task.split.test.x, task.split.test.y);
+    runtime::Session session(runtime::Model::create(std::move(q)));
+    const std::vector<double> flat =
+        runtime::pack_rows(task.split.test.x, task.net.input_dim());
+    const double trunc = session.accuracy(
+        runtime::BatchView(flat, task.net.input_dim()), task.split.test.y);
     std::printf("  %-10s RNE %6.2f%%  truncation %6.2f%%\n", task.spec.name.c_str(),
                 rne * 100, trunc * 100);
   }

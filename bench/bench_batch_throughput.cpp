@@ -1,21 +1,35 @@
-// Batched inference throughput: inferences/sec of
-// DeepPositron::predict_batch vs worker-pool size, for the 8-bit format
-// families, on both matvec kernels (fused Emac::dot() row path and the
+// Batched inference throughput and latency of the runtime Model/Session API
+// (persistent worker pool, contiguous zero-copy batches), for the 8-bit
+// format families, on both matvec kernels (fused Emac::dot() row path and the
 // legacy per-MAC step() path), with the bit-identical-results guarantee
-// checked across thread counts AND across the two paths. This is the
+// checked across pool sizes AND across the two paths. This is the
 // engineering bench for the batch engine (no paper counterpart; the paper
 // reports per-inference hardware latency, see bench_latency).
 //
-// Besides the human-readable table, the run is dumped as machine-readable
-// JSON (default BENCH_throughput.json in the working directory) so CI can
-// archive one artifact per commit and track the perf trajectory PR-over-PR.
+// Two modes, each dumped as machine-readable JSON so CI can archive one
+// artifact per commit and track the perf trajectory PR-over-PR:
+//
+//  * throughput (default): inferences/sec of Session::predict vs pool size,
+//    best-of-N timed repetitions over one large batch. The Session (and its
+//    pool) persists across repetitions — the per-call thread-spawn cost of
+//    the legacy DeepPositron::*_batch API is gone by construction.
+//    -> BENCH_throughput.json
+//  * latency (--latency): per-submit wall-time distribution (p50/p99/mean)
+//    across repeated submits per batch size on one persistent Session — the
+//    serving-side tail-latency view.
+//    -> BENCH_latency.json
 //
 // Usage: bench_batch_throughput [rows] [repeats] [json_path]
-//   rows      batch size (default 256)
-//   repeats   timed repetitions per point, best-of (default 3)
-//   json_path output JSON file, "-" to disable (default BENCH_throughput.json)
+//          rows      batch size (default 256)
+//          repeats   timed repetitions per point, best-of (default 3)
+//          json_path output JSON file, "-" to disable (default BENCH_throughput.json)
+//        bench_batch_throughput --latency [iters] [json_path]
+//          iters     timed submits per batch size (default 200)
+//          json_path output JSON file, "-" to disable (default BENCH_latency.json)
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,37 +38,43 @@
 #include <thread>
 #include <vector>
 
-#include "nn/deep_positron.hpp"
 #include "nn/mlp.hpp"
 #include "nn/quantize.hpp"
 #include "numeric/format.hpp"
+#include "runtime/session.hpp"
 
 namespace {
 
 using namespace dp;
 using Clock = std::chrono::steady_clock;
 
-std::vector<std::vector<double>> random_batch(std::size_t rows, std::size_t dim) {
+// A serving-sized MLP (33k MACs/inference) so per-row EMAC work dominates
+// pool overhead; weights are random — throughput does not depend on them.
+const char* kNetName = "64-128-128-64-10";
+nn::Mlp bench_net() { return nn::Mlp({64, 128, 128, 64, 10}, /*seed=*/7); }
+
+std::vector<double> random_batch(std::size_t rows, std::size_t dim) {
   std::mt19937 rng(2019);
   std::uniform_real_distribution<double> u(-1.0, 1.0);
-  std::vector<std::vector<double>> xs(rows, std::vector<double>(dim));
-  for (auto& row : xs) {
-    for (double& v : row) v = u(rng);
-  }
+  std::vector<double> xs(rows * dim);
+  for (double& v : xs) v = u(rng);
   return xs;
 }
 
-double best_seconds(const nn::DeepPositron& engine, const std::vector<std::vector<double>>& xs,
-                    std::size_t threads, int repeats) {
+double best_seconds(runtime::Session& session, runtime::BatchView xs, int repeats) {
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
     const auto t0 = Clock::now();
-    const auto out = engine.predict_batch(xs, threads);
+    const auto out = session.predict(xs);
     const std::chrono::duration<double> dt = Clock::now() - t0;
-    if (out.size() == xs.size() && dt.count() < best) best = dt.count();
+    if (out.size() == xs.rows() && dt.count() < best) best = dt.count();
   }
   return best;
 }
+
+// ---------------------------------------------------------------------------
+// throughput mode
+// ---------------------------------------------------------------------------
 
 struct Point {
   std::string format;
@@ -66,9 +86,9 @@ struct Point {
   bool bit_identical;
 };
 
-void write_json(const std::string& path, std::size_t rows, int repeats,
-                std::size_t macs_per_inference, bool paths_bit_identical,
-                const std::vector<Point>& points) {
+void write_throughput_json(const std::string& path, std::size_t rows, int repeats,
+                           std::size_t macs_per_inference, bool paths_bit_identical,
+                           const std::vector<Point>& points) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -76,7 +96,8 @@ void write_json(const std::string& path, std::size_t rows, int repeats,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"bench_batch_throughput\",\n");
-  std::fprintf(f, "  \"net\": \"64-128-128-64-10\",\n");
+  std::fprintf(f, "  \"mode\": \"throughput\",\n");
+  std::fprintf(f, "  \"net\": \"%s\",\n", kNetName);
   std::fprintf(f, "  \"rows\": %zu,\n", rows);
   std::fprintf(f, "  \"repeats\": %d,\n", repeats);
   std::fprintf(f, "  \"macs_per_inference\": %zu,\n", macs_per_inference);
@@ -98,29 +119,15 @@ void write_json(const std::string& path, std::size_t rows, int repeats,
   std::printf("wrote %s\n", path.c_str());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const long long rows_arg = argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 256;
-  const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
-  const std::string json_path = argc > 3 ? argv[3] : "BENCH_throughput.json";
-  if (rows_arg <= 0 || rows_arg > 10'000'000 || repeats <= 0) {
-    std::fprintf(stderr,
-                 "usage: bench_batch_throughput [rows 1..10000000] [repeats>0] [json|-]\n");
-    return 2;
-  }
-  const std::size_t rows = static_cast<std::size_t>(rows_arg);
-
-  // A serving-sized MLP (33k MACs/inference) so per-row EMAC work dominates
-  // pool overhead; weights are random — throughput does not depend on them.
-  const nn::Mlp net({64, 128, 128, 64, 10}, /*seed=*/7);
+int run_throughput(std::size_t rows, int repeats, const std::string& json_path) {
+  const nn::Mlp net = bench_net();
   const std::vector<num::Format> formats{
       num::Format{num::PositFormat{8, 0}}, num::Format{num::PositFormat{8, 1}},
       num::Format{num::FloatFormat{4, 3}}, num::Format{num::FixedFormat{8, 6}}};
   const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
 
-  std::printf("bench_batch_throughput: predict_batch over %zu rows, net 64-128-128-64-10\n",
-              rows);
+  std::printf("bench_batch_throughput: Session::predict over %zu rows, net %s\n", rows,
+              kNetName);
   std::printf("hardware_concurrency = %u, best of %d runs per point\n\n",
               std::thread::hardware_concurrency(), repeats);
 
@@ -128,29 +135,30 @@ int main(int argc, char** argv) {
   std::size_t macs_per_inference = 0;
   bool paths_bit_identical = true;
   for (const num::Format& fmt : formats) {
-    const nn::DeepPositron engine(nn::quantize(net, fmt));  // fused (default)
-    const nn::DeepPositron legacy(nn::quantize(net, fmt),
-                                  nn::DeepPositron::ForwardPath::kStep);
-    const auto xs = random_batch(rows, net.input_dim());
-    const std::vector<int> reference = engine.predict_batch(xs, 1);
-    macs_per_inference = engine.macs_per_inference();
+    const auto fused = runtime::Model::create(nn::quantize(net, fmt));  // default path
+    const auto step =
+        runtime::Model::create(nn::quantize(net, fmt), runtime::ForwardPath::kStep);
+    const std::vector<double> flat = random_batch(rows, net.input_dim());
+    const runtime::BatchView xs(flat, net.input_dim());
+    const std::vector<int> reference = runtime::Session(fused).predict(xs);
+    macs_per_inference = fused->macs_per_inference();
     const double macs = static_cast<double>(macs_per_inference) * static_cast<double>(rows);
 
-    const bool paths_match = legacy.predict_batch(xs, 1) == reference;
+    const bool paths_match = runtime::Session(step).predict(xs) == reference;
     if (!paths_match) paths_bit_identical = false;
     std::printf("%s (%zu MACs/inference)  fused-vs-step bit-identical: %s\n",
                 fmt.name().c_str(), macs_per_inference, paths_match ? "yes" : "NO <-- BUG");
 
-    for (const auto& [engine_ref, path_name] :
-         {std::pair<const nn::DeepPositron&, const char*>{engine, "fused"},
-          std::pair<const nn::DeepPositron&, const char*>{legacy, "step"}}) {
+    for (const auto& [model, path_name] :
+         {std::pair{fused, "fused"}, std::pair{step, "step"}}) {
       std::printf("  [%s]\n", path_name);
       std::printf("  %8s  %14s  %12s  %10s  %s\n", "threads", "inferences/s", "MMAC/s",
                   "speedup", "bit-identical");
       double base = 0;
       for (const std::size_t t : thread_counts) {
-        const bool identical = engine_ref.predict_batch(xs, t) == reference;
-        const double secs = best_seconds(engine_ref, xs, t, repeats);
+        runtime::Session session(model, {t});
+        const bool identical = session.predict(xs) == reference;
+        const double secs = best_seconds(session, xs, repeats);
         const double ips = static_cast<double>(rows) / secs;
         if (t == 1) base = ips;
         std::printf("  %8zu  %14.1f  %12.2f  %9.2fx  %s\n", t, ips, macs / secs / 1e6,
@@ -163,7 +171,133 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   if (json_path != "-") {
-    write_json(json_path, rows, repeats, macs_per_inference, paths_bit_identical, points);
+    write_throughput_json(json_path, rows, repeats, macs_per_inference, paths_bit_identical,
+                          points);
   }
   return paths_bit_identical ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// latency mode
+// ---------------------------------------------------------------------------
+
+struct LatencyPoint {
+  std::string format;
+  std::size_t batch;
+  std::size_t threads;
+  double p50_us;
+  double p99_us;
+  double mean_us;
+  double inferences_per_s;
+};
+
+/// Nearest-rank percentile over a sorted sample (p in (0,100]).
+double percentile(const std::vector<double>& sorted, double p) {
+  const std::size_t rank =
+      static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+void write_latency_json(const std::string& path, int iters, std::size_t threads,
+                        const std::vector<LatencyPoint>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_batch_throughput\",\n");
+  std::fprintf(f, "  \"mode\": \"latency\",\n");
+  std::fprintf(f, "  \"net\": \"%s\",\n", kNetName);
+  std::fprintf(f, "  \"iters\": %d,\n", iters);
+  std::fprintf(f, "  \"threads\": %zu,\n", threads);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const LatencyPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"format\": \"%s\", \"batch\": %zu, \"threads\": %zu, "
+                 "\"p50_us\": %.2f, \"p99_us\": %.2f, \"mean_us\": %.2f, "
+                 "\"inferences_per_s\": %.1f}%s\n",
+                 p.format.c_str(), p.batch, p.threads, p.p50_us, p.p99_us, p.mean_us,
+                 p.inferences_per_s, i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int run_latency(int iters, const std::string& json_path) {
+  const nn::Mlp net = bench_net();
+  const std::vector<num::Format> formats{num::Format{num::PositFormat{8, 0}},
+                                         num::Format{num::FixedFormat{8, 6}}};
+  const std::vector<std::size_t> batch_sizes{1, 8, 64, 256};
+  const std::size_t threads =
+      std::min<std::size_t>(8, std::max(1u, std::thread::hardware_concurrency()));
+
+  std::printf("bench_batch_throughput --latency: per-submit wall time, net %s\n", kNetName);
+  std::printf("pool = %zu threads (persistent), %d submits per point\n\n", threads, iters);
+
+  std::vector<LatencyPoint> points;
+  for (const num::Format& fmt : formats) {
+    // One Session per format, reused for every batch size and submit: the
+    // pool threads are created here, once, and only woken per submit.
+    runtime::Session session(runtime::Model::create(nn::quantize(net, fmt)), {threads});
+    std::printf("%s\n", fmt.name().c_str());
+    std::printf("  %8s  %10s  %10s  %10s  %14s\n", "batch", "p50 us", "p99 us", "mean us",
+                "inferences/s");
+    for (const std::size_t batch : batch_sizes) {
+      const std::vector<double> flat = random_batch(batch, net.input_dim());
+      const runtime::BatchView xs(flat, net.input_dim());
+      session.predict(xs);  // warm-up (first touch of result allocation sizes)
+      std::vector<double> us;
+      us.reserve(static_cast<std::size_t>(iters));
+      double total = 0;
+      for (int i = 0; i < iters; ++i) {
+        const auto t0 = Clock::now();
+        const auto out = session.predict(xs);
+        const std::chrono::duration<double, std::micro> dt = Clock::now() - t0;
+        if (out.size() != batch) {
+          std::fprintf(stderr, "FAIL: predict returned %zu results for a %zu-row batch\n",
+                       out.size(), batch);
+          return 1;
+        }
+        us.push_back(dt.count());
+        total += dt.count();
+      }
+      std::sort(us.begin(), us.end());
+      const double p50 = percentile(us, 50), p99 = percentile(us, 99);
+      const double mean = total / static_cast<double>(iters);
+      const double ips = static_cast<double>(batch) / (mean * 1e-6);
+      std::printf("  %8zu  %10.2f  %10.2f  %10.2f  %14.1f\n", batch, p50, p99, mean, ips);
+      points.push_back({fmt.name(), batch, threads, p50, p99, mean, ips});
+    }
+    std::printf("\n");
+  }
+  if (json_path != "-") write_latency_json(json_path, iters, threads, points);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--latency") == 0) {
+    const int iters = argc > 2 ? std::atoi(argv[2]) : 200;
+    const std::string json_path = argc > 3 ? argv[3] : "BENCH_latency.json";
+    if (iters <= 0) {
+      std::fprintf(stderr, "usage: bench_batch_throughput --latency [iters>0] [json|-]\n");
+      return 2;
+    }
+    return run_latency(iters, json_path);
+  }
+  const long long rows_arg = argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 256;
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+  const std::string json_path = argc > 3 ? argv[3] : "BENCH_throughput.json";
+  if (rows_arg <= 0 || rows_arg > 10'000'000 || repeats <= 0) {
+    std::fprintf(stderr,
+                 "usage: bench_batch_throughput [rows 1..10000000] [repeats>0] [json|-]\n"
+                 "       bench_batch_throughput --latency [iters>0] [json|-]\n");
+    return 2;
+  }
+  return run_throughput(static_cast<std::size_t>(rows_arg), repeats, json_path);
 }

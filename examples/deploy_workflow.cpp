@@ -7,8 +7,8 @@
 #include <sstream>
 
 #include "core/experiment.hpp"
-#include "nn/deep_positron.hpp"
 #include "nn/io.hpp"
+#include "runtime/session.hpp"
 
 int main() {
   using namespace dp;
@@ -34,10 +34,12 @@ int main() {
   std::printf("[3] quantized to %s and saved (%zu bytes vs %zu for float32)\n",
               fmt.name().c_str(), q_file.str().size(), f32_file.str().size());
 
-  // 4. Reload the quantized file (as the accelerator loader would) and check
-  //    bit-identical behaviour.
-  const nn::DeepPositron original(quant);
-  const nn::DeepPositron shipped(nn::load_quantized(q_file));
+  // 4. Reload the quantized file (as the accelerator loader would), stand up
+  //    one runtime Session per model, and check bit-identical behaviour
+  //    (single-sample calls reuse Session-owned scratch state — no per-call
+  //    allocation, no locking).
+  runtime::Session original(runtime::Model::create(quant));
+  runtime::Session shipped(runtime::Model::create(nn::load_quantized(q_file)));
   std::size_t agree = 0;
   for (std::size_t i = 0; i < task.split.test.size(); ++i) {
     if (original.predict(task.split.test.x[i]) == shipped.predict(task.split.test.x[i])) {
@@ -47,7 +49,12 @@ int main() {
   std::printf("[4] reloaded model agrees on %zu/%zu test samples\n", agree,
               task.split.test.size());
 
-  const double acc = shipped.accuracy(task.split.test.x, task.split.test.y);
+  // 5. Batched accuracy over the contiguous packed split — the serving-shaped
+  //    entry point.
+  const std::vector<double> flat =
+      runtime::pack_rows(task.split.test.x, shipped.model().input_dim());
+  const double acc = shipped.accuracy(
+      runtime::BatchView(flat, shipped.model().input_dim()), task.split.test.y);
   std::printf("[5] deployed 8-bit posit accuracy: %.2f%% (float32 %.2f%%)\n",
               acc * 100, task.float32_test_accuracy * 100);
   return agree == task.split.test.size() ? 0 : 1;

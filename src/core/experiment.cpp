@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/session.hpp"
+
 namespace dp::core {
 
 TaskSpec iris_task() {
@@ -84,20 +86,44 @@ TrainedTask prepare_task(const TaskSpec& spec) {
   return out;
 }
 
-FormatResult evaluate_format(const TrainedTask& task, const num::Format& fmt,
-                             std::size_t num_threads) {
-  const nn::DeepPositron engine(nn::quantize(task.net, fmt));
+namespace {
+
+/// Shared core of evaluate_format / the sweeps: quantize, build the shared
+/// immutable model, run one Session over the already-packed test split.
+FormatResult evaluate_packed(const TrainedTask& task, const num::Format& fmt,
+                             runtime::BatchView test_x, std::size_t num_threads) {
+  runtime::Session session(runtime::Model::create(nn::quantize(task.net, fmt)),
+                           {num_threads});
   FormatResult r{fmt, 0, 0};
-  r.accuracy = engine.accuracy(task.split.test.x, task.split.test.y, num_threads);
+  r.accuracy = session.accuracy(test_x, task.split.test.y);
   r.degradation_points = (task.float32_test_accuracy - r.accuracy) * 100.0;
   return r;
 }
 
+/// The test split as one contiguous row-major buffer; packed once per sweep
+/// and viewed by every format's Session. Rows are validated against the
+/// network's input width (== the dataset's feature count, checked at
+/// prepare_task), which also keeps an empty split well-formed.
+std::vector<double> pack_test_split(const TrainedTask& task) {
+  return runtime::pack_rows(task.split.test.x, task.net.input_dim());
+}
+
+}  // namespace
+
+FormatResult evaluate_format(const TrainedTask& task, const num::Format& fmt,
+                             std::size_t num_threads) {
+  const std::vector<double> flat = pack_test_split(task);
+  return evaluate_packed(task, fmt,
+                         runtime::BatchView(flat, task.net.input_dim()), num_threads);
+}
+
 std::vector<FormatResult> sweep_formats(const TrainedTask& task, int n,
                                         std::size_t num_threads) {
+  const std::vector<double> flat = pack_test_split(task);
+  const runtime::BatchView view(flat, task.net.input_dim());
   std::vector<FormatResult> out;
   for (const auto& fmt : num::paper_format_grid(n)) {
-    out.push_back(evaluate_format(task, fmt, num_threads));
+    out.push_back(evaluate_packed(task, fmt, view, num_threads));
   }
   return out;
 }
@@ -116,9 +142,11 @@ std::vector<num::Format> paper_comparison_formats(int n) {
 
 std::vector<FormatResult> sweep_paper_formats(const TrainedTask& task, int n,
                                               std::size_t num_threads) {
+  const std::vector<double> flat = pack_test_split(task);
+  const runtime::BatchView view(flat, task.net.input_dim());
   std::vector<FormatResult> out;
   for (const auto& fmt : paper_comparison_formats(n)) {
-    out.push_back(evaluate_format(task, fmt, num_threads));
+    out.push_back(evaluate_packed(task, fmt, view, num_threads));
   }
   return out;
 }

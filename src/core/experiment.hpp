@@ -50,10 +50,11 @@ struct FormatResult {
   double degradation_points = 0;      ///< float32 acc - this acc, percentage points
 };
 
-/// Deep Positron inference accuracy of `fmt` on the task's test split.
-/// `num_threads` is forwarded to the engine's batched accuracy path
-/// (0 = all hardware threads); the default keeps the historical serial
-/// evaluation. Results are bit-identical across thread counts.
+/// Deep Positron inference accuracy of `fmt` on the task's test split,
+/// evaluated through a runtime::Session over the packed (contiguous) split.
+/// `num_threads` sizes the Session's worker pool (0 = all hardware threads);
+/// the default keeps the historical serial evaluation. Results are
+/// bit-identical across thread counts.
 FormatResult evaluate_format(const TrainedTask& task, const num::Format& fmt,
                              std::size_t num_threads = 1);
 

@@ -1,11 +1,6 @@
 #include "nn/deep_positron.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdlib>
-#include <cstring>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -13,283 +8,99 @@
 namespace dp::nn {
 namespace {
 
-// Rows handed to a worker per queue pop. Small enough to balance uneven
-// progress, large enough that the atomic fetch_add never shows up next to
-// the EMAC matvec work.
-constexpr std::size_t kRowsPerChunk = 8;
+/// Unpack a flat row-major BatchResult into the legacy vector-of-vectors
+/// layout (the copy the deprecated shims are documented to make).
+template <typename T>
+std::vector<std::vector<T>> unpack_rows(const runtime::BatchResult<T>& flat) {
+  std::vector<std::vector<T>> out(flat.rows());
+  for (std::size_t i = 0; i < flat.rows(); ++i) {
+    const auto row = flat.row(i);
+    out[i].assign(row.begin(), row.end());
+  }
+  return out;
+}
 
-std::size_t resolve_threads(std::size_t requested, std::size_t rows) {
+/// Pool size for a transient shim Session, preserving the legacy
+/// resolve_threads() cap: never more threads than there are chunks of work,
+/// so a small batch on a many-core host doesn't spawn (and handshake with)
+/// dozens of workers that would get no rows.
+std::size_t shim_threads(std::size_t requested, std::size_t rows) {
   std::size_t t = requested;
   if (t == 0) t = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  // No point spawning more workers than there are chunks to hand out.
-  const std::size_t chunks = (rows + kRowsPerChunk - 1) / kRowsPerChunk;
+  const std::size_t chunks =
+      (rows + runtime::WorkerPool::kRowsPerChunk - 1) / runtime::WorkerPool::kRowsPerChunk;
   return std::min(std::max<std::size_t>(chunks, 1), t);
 }
 
-/// Run fn(row, scratch) for every row in [0, rows): on the calling thread
-/// when num_threads <= 1, else on a pool of num_threads workers pulling
-/// fixed-size chunks off a shared atomic counter. Each worker owns a private
-/// Scratch, so no inference state is ever shared. The first exception thrown
-/// by any worker is rethrown on the calling thread after the pool joins.
-template <typename Fn>
-void parallel_rows(const DeepPositron& engine, std::size_t rows, std::size_t num_threads,
-                   Fn&& fn) {
-  if (rows == 0) return;
-  if (num_threads <= 1) {
-    DeepPositron::Scratch scratch = engine.make_scratch();
-    for (std::size_t i = 0; i < rows; ++i) fn(i, scratch);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  auto worker = [&] {
-    try {
-      DeepPositron::Scratch scratch = engine.make_scratch();
-      for (;;) {
-        const std::size_t begin = next.fetch_add(kRowsPerChunk, std::memory_order_relaxed);
-        if (begin >= rows) return;
-        const std::size_t end = std::min(rows, begin + kRowsPerChunk);
-        for (std::size_t i = begin; i < end; ++i) fn(i, scratch);
-      }
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!error) error = std::current_exception();
-      next.store(rows, std::memory_order_relaxed);  // drain remaining work
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(num_threads);
-  try {
-    for (std::size_t t = 0; t < num_threads; ++t) pool.emplace_back(worker);
-  } catch (...) {
-    // Thread creation failed mid-spawn (e.g. resource exhaustion): drain the
-    // queue so the live workers finish, join them, then surface the error —
-    // destroying a joinable std::thread would terminate the process.
-    next.store(rows, std::memory_order_relaxed);
-    for (std::thread& t : pool) t.join();
-    throw;
-  }
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
-}
-
 }  // namespace
-
-namespace {
-
-/// DP_FORCE_STEP_PATH=1 (any value other than unset/empty/"0") forces every
-/// engine onto the legacy per-MAC step() path — the no-rebuild cross-check
-/// knob documented in docs/reproducing.md.
-bool step_path_forced() {
-  const char* v = std::getenv("DP_FORCE_STEP_PATH");
-  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
-}
-
-}  // namespace
-
-DeepPositron::Scratch::Scratch(const QuantizedNetwork& net) {
-  emacs_.reserve(net.layers.size());
-  std::size_t widest = net.input_dim();
-  std::size_t widest_in = net.input_dim();
-  for (const QuantizedLayer& layer : net.layers) {
-    emacs_.push_back(emac::make_emac(net.format, layer.fan_in));
-    widest = std::max(widest, layer.fan_out);
-    widest_in = std::max(widest_in, layer.fan_in);
-  }
-  act_.reserve(widest);
-  next_.reserve(widest);
-  act_dec_.reserve(widest_in);
-}
 
 DeepPositron::DeepPositron(QuantizedNetwork network, ForwardPath path)
-    : net_(std::move(network)), path_(step_path_forced() ? ForwardPath::kStep : path) {
-  if (net_.layers.empty()) throw std::invalid_argument("DeepPositron: empty network");
-  // Fails fast on unsupported format/fan-in combinations, keeps the old
-  // engine's one-time EMAC construction cost for the Scratch-less overloads,
-  // and serves as the prototype bank that make_scratch() clones.
-  serial_scratch_ = std::make_unique<Scratch>(net_);
-  // Decode every layer's static weight memory once, up front. The planes are
-  // immutable and shared read-only across all Scratches/threads. A step-path
-  // engine never reads them, so it skips the build (a DecodedOp is 8x the
-  // raw pattern size — not worth holding for a cross-check engine).
-  if (path_ == ForwardPath::kFused) {
-    weight_planes_.resize(net_.layers.size());
-    for (std::size_t li = 0; li < net_.layers.size(); ++li) {
-      const QuantizedLayer& layer = net_.layers[li];
-      weight_planes_[li].resize(layer.weights.size());
-      serial_scratch_->emacs_[li]->decode_plane(layer.weights.data(), layer.weights.size(),
-                                                weight_planes_[li].data());
-    }
-  }
-}
-
-DeepPositron::Scratch DeepPositron::make_scratch() const {
-  // Fresh units carry only immutable configuration (the decode tables come
-  // from the shared registry, so construction is cheap), never accumulator
-  // or buffer state — safe concurrently with scalar calls holding
-  // serial_mutex_.
-  return Scratch(net_);
-}
-
-std::uint32_t DeepPositron::relu(std::uint32_t bits) const {
-  switch (net_.format.kind()) {
-    case num::Kind::kPosit: {
-      const auto& f = net_.format.posit();
-      bits &= f.mask();
-      if (bits == f.nar_pattern()) return bits;  // NaR passes through
-      // Negative iff the sign bit is set (and not NaR).
-      return ((bits >> (f.n - 1)) & 1u) ? f.zero_pattern() : bits;
-    }
-    case num::Kind::kFloat: {
-      const auto& f = net_.format.flt();
-      bits &= f.mask();
-      // Clear negatives (including -0) to +0.
-      return ((bits >> (f.we + f.wf)) & 1u) ? num::float_zero(f) : bits;
-    }
-    case num::Kind::kFixed: {
-      const auto& f = net_.format.fixed();
-      return num::fixed_raw(bits, f) < 0 ? num::fixed_from_raw(0, f) : (bits & f.mask());
-    }
-  }
-  throw std::logic_error("DeepPositron::relu: bad kind");
-}
-
-void DeepPositron::forward_into(const std::vector<double>& x, Scratch& scratch) const {
-  if (x.size() != net_.input_dim()) {
-    throw std::invalid_argument("DeepPositron::forward: bad input size");
-  }
-  std::vector<std::uint32_t>& act = scratch.act_;
-  std::vector<std::uint32_t>& next = scratch.next_;
-  act.clear();
-  for (const double v : x) act.push_back(net_.format.from_double(v));
-
-  const bool fused = path_ == ForwardPath::kFused;
-  for (std::size_t li = 0; li < net_.layers.size(); ++li) {
-    const QuantizedLayer& layer = net_.layers[li];
-    emac::Emac& unit = *scratch.emacs_[li];
-    next.assign(layer.fan_out, 0);
-    if (fused) {
-      // Decode this layer's activation vector once for all fan_out neurons;
-      // the static weights were decoded once at engine construction.
-      std::vector<emac::DecodedOp>& adec = scratch.act_dec_;
-      adec.resize(layer.fan_in);
-      unit.decode_plane(act.data(), layer.fan_in, adec.data());
-      const emac::DecodedOp* wplane = weight_planes_[li].data();
-      for (std::size_t j = 0; j < layer.fan_out; ++j) {
-        std::uint32_t out =
-            unit.dot(layer.bias[j], wplane + j * layer.fan_in, adec.data(), layer.fan_in);
-        if (layer.activation == Activation::kReLU) out = relu(out);
-        next[j] = out;
-      }
-    } else {
-      for (std::size_t j = 0; j < layer.fan_out; ++j) {
-        unit.reset(layer.bias[j]);
-        const std::uint32_t* wrow = layer.weights.data() + j * layer.fan_in;
-        for (std::size_t i = 0; i < layer.fan_in; ++i) {
-          unit.step(wrow[i], act[i]);
-        }
-        std::uint32_t out = unit.result();
-        if (layer.activation == Activation::kReLU) out = relu(out);
-        next[j] = out;
-      }
-    }
-    act.swap(next);
-  }
-}
+    : model_(runtime::Model::create(std::move(network), path)) {}
 
 std::vector<std::uint32_t> DeepPositron::forward_bits(const std::vector<double>& x,
                                                       Scratch& scratch) const {
-  forward_into(x, scratch);
-  return scratch.act_;
+  model_->forward_into(x, scratch);
+  const auto bits = scratch.activations();
+  return std::vector<std::uint32_t>(bits.begin(), bits.end());
 }
 
 std::vector<std::uint32_t> DeepPositron::forward_bits(const std::vector<double>& x) const {
-  const std::lock_guard<std::mutex> lock(serial_mutex_);
-  return forward_bits(x, *serial_scratch_);
+  Scratch scratch = make_scratch();
+  return forward_bits(x, scratch);
 }
 
 std::vector<double> DeepPositron::forward(const std::vector<double>& x, Scratch& scratch) const {
-  forward_into(x, scratch);
+  model_->forward_into(x, scratch);
   std::vector<double> out;
-  out.reserve(scratch.act_.size());
-  for (const std::uint32_t b : scratch.act_) out.push_back(net_.format.to_double(b));
+  const auto bits = scratch.activations();
+  out.reserve(bits.size());
+  for (const std::uint32_t b : bits) out.push_back(model_->format().to_double(b));
   return out;
 }
 
 std::vector<double> DeepPositron::forward(const std::vector<double>& x) const {
-  const std::lock_guard<std::mutex> lock(serial_mutex_);
-  return forward(x, *serial_scratch_);
+  Scratch scratch = make_scratch();
+  return forward(x, scratch);
 }
 
 int DeepPositron::predict(const std::vector<double>& x, Scratch& scratch) const {
-  const std::vector<double> scores = forward(x, scratch);
-  int best = 0;
-  for (std::size_t i = 1; i < scores.size(); ++i) {
-    if (scores[i] > scores[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
-  }
-  return best;
+  model_->forward_into(x, scratch);
+  return model_->readout_argmax(scratch);
 }
 
 int DeepPositron::predict(const std::vector<double>& x) const {
-  const std::lock_guard<std::mutex> lock(serial_mutex_);
-  return predict(x, *serial_scratch_);
-}
-
-void DeepPositron::check_batch(const std::vector<std::vector<double>>& xs) const {
-  for (const std::vector<double>& row : xs) {
-    if (row.size() != net_.input_dim()) {
-      throw std::invalid_argument("DeepPositron: bad input size in batch");
-    }
-  }
+  Scratch scratch = make_scratch();
+  return predict(x, scratch);
 }
 
 std::vector<std::vector<std::uint32_t>> DeepPositron::forward_bits_batch(
     const std::vector<std::vector<double>>& xs, std::size_t num_threads) const {
-  check_batch(xs);
-  std::vector<std::vector<std::uint32_t>> out(xs.size());
-  parallel_rows(*this, xs.size(), resolve_threads(num_threads, xs.size()),
-                [&](std::size_t i, Scratch& scratch) { out[i] = forward_bits(xs[i], scratch); });
-  return out;
+  const std::vector<double> flat = runtime::pack_rows(xs, model_->input_dim());
+  runtime::Session session(model_, {shim_threads(num_threads, xs.size())});
+  return unpack_rows(session.forward_bits(runtime::BatchView(flat, model_->input_dim())));
 }
 
 std::vector<std::vector<double>> DeepPositron::forward_batch(
     const std::vector<std::vector<double>>& xs, std::size_t num_threads) const {
-  check_batch(xs);
-  std::vector<std::vector<double>> out(xs.size());
-  parallel_rows(*this, xs.size(), resolve_threads(num_threads, xs.size()),
-                [&](std::size_t i, Scratch& scratch) { out[i] = forward(xs[i], scratch); });
-  return out;
+  const std::vector<double> flat = runtime::pack_rows(xs, model_->input_dim());
+  runtime::Session session(model_, {shim_threads(num_threads, xs.size())});
+  return unpack_rows(session.forward(runtime::BatchView(flat, model_->input_dim())));
 }
 
 std::vector<int> DeepPositron::predict_batch(const std::vector<std::vector<double>>& xs,
                                              std::size_t num_threads) const {
-  check_batch(xs);
-  std::vector<int> out(xs.size());
-  parallel_rows(*this, xs.size(), resolve_threads(num_threads, xs.size()),
-                [&](std::size_t i, Scratch& scratch) { out[i] = predict(xs[i], scratch); });
-  return out;
+  const std::vector<double> flat = runtime::pack_rows(xs, model_->input_dim());
+  runtime::Session session(model_, {shim_threads(num_threads, xs.size())});
+  return session.predict(runtime::BatchView(flat, model_->input_dim()));
 }
 
 double DeepPositron::accuracy(const std::vector<std::vector<double>>& x,
                               const std::vector<int>& y, std::size_t num_threads) const {
   if (x.size() != y.size()) throw std::invalid_argument("DeepPositron::accuracy: size mismatch");
   if (x.empty()) return 0.0;
-  check_batch(x);
-  std::vector<unsigned char> correct(x.size(), 0);
-  parallel_rows(*this, x.size(), resolve_threads(num_threads, x.size()),
-                [&](std::size_t i, Scratch& scratch) {
-                  correct[i] = predict(x[i], scratch) == y[i] ? 1 : 0;
-                });
-  std::size_t hits = 0;
-  for (const unsigned char c : correct) hits += c;
-  return static_cast<double>(hits) / static_cast<double>(x.size());
-}
-
-std::size_t DeepPositron::macs_per_inference() const {
-  std::size_t macs = 0;
-  for (const auto& layer : net_.layers) macs += layer.fan_in * layer.fan_out;
-  return macs;
+  const std::vector<double> flat = runtime::pack_rows(x, model_->input_dim());
+  runtime::Session session(model_, {shim_threads(num_threads, x.size())});
+  return session.accuracy(runtime::BatchView(flat, model_->input_dim()), y);
 }
 
 }  // namespace dp::nn

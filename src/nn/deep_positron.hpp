@@ -6,71 +6,54 @@
 // readout. All arithmetic inside a neuron is exact until the single
 // EMAC rounding.
 //
-// The engine itself is immutable after construction; all mutable inference
-// state (the per-layer EMAC accumulators and activation buffers) lives in a
-// Scratch object. Single-sample calls allocate one internally, hot loops can
-// reuse one, and the *_batch entry points run a row-partitioned std::thread
-// worker pool with one Scratch per worker. Every path — single-sample,
-// single-threaded batch, multi-threaded batch — produces bit-identical
-// outputs: rows are independent and each is computed by the same
-// deterministic EMAC recurrence.
+// Since the dp::runtime redesign this class is a thin source-compatible
+// facade over runtime::Model / runtime::Session (src/runtime/): the engine
+// holds a shared immutable Model and forwards every call. New code should
+// use the runtime API directly — an immutable Model shared across clients,
+// one Session per client with a persistent worker pool, and contiguous
+// BatchView/BatchResult batches — see docs/api.md for the migration table.
+// Every path, legacy or runtime, produces bit-identical outputs: rows are
+// independent and each is computed by the same deterministic EMAC recurrence
+// (tests/runtime/session_test.cpp).
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
-#include "emac/emac.hpp"
-#include "nn/quantize.hpp"
+#include "runtime/model.hpp"
+#include "runtime/session.hpp"
 
 namespace dp::nn {
 
 class DeepPositron {
  public:
-  /// Which matvec kernel forward_into() drives.
-  ///  * kFused — one Emac::dot() call per neuron against the engine's
-  ///    pre-decoded weight planes and a per-sample pre-decoded activation
-  ///    vector (the hot path; bit-identical to kStep, see
-  ///    tests/nn/fused_path_test.cpp).
-  ///  * kStep — the legacy reset/step*k/result recurrence, one virtual call
-  ///    per MAC. Kept for cross-checking; also forced for every engine by
-  ///    setting the environment variable DP_FORCE_STEP_PATH=1.
-  enum class ForwardPath { kFused, kStep };
+  /// See runtime::ForwardPath (kFused hot path vs kStep cross-check path).
+  using ForwardPath = runtime::ForwardPath;
 
-  /// Per-thread mutable inference state: one EMAC per layer (neurons of a
-  /// layer share the unit in this software model; hardware instantiates one
-  /// per neuron — see dp::arch for the parallel-latency model) plus the
-  /// activation ping-pong buffers. Reusable across any number of samples;
-  /// never share one Scratch between threads.
-  class Scratch {
-   public:
-    explicit Scratch(const QuantizedNetwork& net);
-
-   private:
-    friend class DeepPositron;
-    std::vector<std::unique_ptr<emac::Emac>> emacs_;  // one per layer
-    std::vector<std::uint32_t> act_;                  // current activations
-    std::vector<std::uint32_t> next_;                 // next layer's outputs
-    std::vector<emac::DecodedOp> act_dec_;            // pre-decoded activations
-  };
+  /// See runtime::Scratch: per-thread mutable inference state, reusable
+  /// across samples; never share one Scratch between threads.
+  using Scratch = runtime::Scratch;
 
   explicit DeepPositron(QuantizedNetwork network, ForwardPath path = ForwardPath::kFused);
 
-  ForwardPath forward_path() const { return path_; }
+  ForwardPath forward_path() const { return model_->forward_path(); }
 
-  const num::Format& format() const { return net_.format; }
-  const QuantizedNetwork& network() const { return net_; }
+  const num::Format& format() const { return model_->format(); }
+  const QuantizedNetwork& network() const { return model_->network(); }
 
-  /// Fresh per-thread state for the Scratch-reusing overloads, cloned from
-  /// the engine's prototype EMAC units.
-  Scratch make_scratch() const;
+  /// The shared immutable model backing this engine — the bridge for
+  /// migrating a call site to runtime::Session without requantizing.
+  std::shared_ptr<const runtime::Model> model() const { return model_; }
+
+  /// Fresh per-thread state for the Scratch-reusing overloads.
+  Scratch make_scratch() const { return model_->make_scratch(); }
 
   /// Inference for one input vector (real values are quantized into the
   /// network format first, mirroring the input interface of the hardware).
-  /// Uses an internal Scratch built once at construction; concurrent calls
-  /// on a shared engine are safe but serialize on it — parallel callers
-  /// should hold their own Scratch or use the *_batch entry points.
+  /// Builds a fresh Scratch per call, so concurrent callers on a shared
+  /// engine run fully in parallel (no serialization); hot loops should reuse
+  /// a Scratch via the overloads below or hold a runtime::Session.
   std::vector<std::uint32_t> forward_bits(const std::vector<double>& x) const;
 
   /// Output scores as doubles (decoded readout activations).
@@ -84,49 +67,36 @@ class DeepPositron {
   std::vector<double> forward(const std::vector<double>& x, Scratch& scratch) const;
   int predict(const std::vector<double>& x, Scratch& scratch) const;
 
-  // Batched inference. Rows of `xs` are partitioned over a worker pool of
-  // `num_threads` std::threads, each with its own Scratch (per-thread
-  // quire/accumulator state). num_threads == 0 picks
-  // std::thread::hardware_concurrency(); num_threads <= 1 (or a batch of one
-  // row) runs the single-threaded fallback on the calling thread. Results
-  // are bit-identical across all thread counts.
+  // Batched inference over the legacy vector-of-vectors layout. Deprecated:
+  // these copy every row into a contiguous buffer and run a transient
+  // runtime::Session (one pool construction per call — exactly the per-call
+  // thread-spawn cost the runtime API exists to remove). num_threads == 0
+  // picks std::thread::hardware_concurrency(). Results remain bit-identical
+  // across all thread counts and to the runtime API.
+  [[deprecated("copies rows and spawns a pool per call; hold a runtime::Session and pass a "
+               "contiguous BatchView (docs/api.md)")]]
   std::vector<std::vector<std::uint32_t>> forward_bits_batch(
       const std::vector<std::vector<double>>& xs, std::size_t num_threads = 0) const;
+  [[deprecated("copies rows and spawns a pool per call; hold a runtime::Session and pass a "
+               "contiguous BatchView (docs/api.md)")]]
   std::vector<std::vector<double>> forward_batch(const std::vector<std::vector<double>>& xs,
                                                  std::size_t num_threads = 0) const;
+  [[deprecated("copies rows and spawns a pool per call; hold a runtime::Session and pass a "
+               "contiguous BatchView (docs/api.md)")]]
   std::vector<int> predict_batch(const std::vector<std::vector<double>>& xs,
                                  std::size_t num_threads = 0) const;
 
-  /// Accuracy over a dataset given as rows of doubles. `num_threads` as in
-  /// predict_batch, except the default stays single-threaded so existing
+  /// Accuracy over a dataset given as rows of doubles. `num_threads` counts
+  /// the calling thread; the default stays single-threaded so existing
   /// callers keep their exact (serial) behaviour.
   double accuracy(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
                   std::size_t num_threads = 1) const;
 
   /// Total number of MAC operations for one inference (for energy models).
-  std::size_t macs_per_inference() const;
+  std::size_t macs_per_inference() const { return model_->macs_per_inference(); }
 
  private:
-  std::uint32_t relu(std::uint32_t bits) const;
-
-  /// Core matvec chain: quantize `x`, stream through every layer; the final
-  /// activations are left in `scratch.act_`.
-  void forward_into(const std::vector<double>& x, Scratch& scratch) const;
-
-  /// Throws std::invalid_argument unless every row of `xs` has input_dim().
-  void check_batch(const std::vector<std::vector<double>>& xs) const;
-
-  QuantizedNetwork net_;
-  ForwardPath path_;
-  // Pre-decoded weight planes, one per layer, row-major like the raw
-  // patterns: the static weight memories are decoded exactly once at
-  // construction and shared read-only by every Scratch on every thread.
-  std::vector<std::vector<emac::DecodedOp>> weight_planes_;
-  // State for the Scratch-less single-sample overloads: built once at
-  // construction (which also validates the format/fan-in combinations) and
-  // serialized by the mutex so a shared const engine stays race-free.
-  mutable std::mutex serial_mutex_;
-  mutable std::unique_ptr<Scratch> serial_scratch_;
+  std::shared_ptr<const runtime::Model> model_;
 };
 
 }  // namespace dp::nn

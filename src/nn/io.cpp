@@ -74,6 +74,8 @@ void save_network(const std::string& path, const Mlp& net) {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("dpnet: cannot open " + path);
   save_network(os, net);
+  os.flush();
+  if (!os) throw std::runtime_error("dpnet: write failed for " + path);
 }
 
 Mlp load_network(std::istream& is) {
@@ -140,6 +142,16 @@ void save_quantized(std::ostream& os, const QuantizedNetwork& net) {
   if (!os) throw std::runtime_error("dpnet: write failed");
 }
 
+void save_quantized(const std::string& path, const QuantizedNetwork& net) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("dpnet: cannot open " + path);
+  save_quantized(os, net);
+  // Deferred write errors (e.g. a full disk) would otherwise be swallowed by
+  // the ofstream destructor and a truncated file reported as success.
+  os.flush();
+  if (!os) throw std::runtime_error("dpnet: write failed for " + path);
+}
+
 QuantizedNetwork load_quantized(std::istream& is) {
   is >> std::dec;  // defend against inherited basefield state
   expect_token(is, "dpnet-quant");
@@ -171,6 +183,12 @@ QuantizedNetwork load_quantized(std::istream& is) {
     net.layers.push_back(std::move(layer));
   }
   return net;
+}
+
+QuantizedNetwork load_quantized(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("dpnet: cannot open " + path);
+  return load_quantized(is);
 }
 
 }  // namespace dp::nn

@@ -24,6 +24,8 @@ Mlp load_network(const std::string& path);
 
 /// Writes "dpnet-quant v1": format descriptor plus hex patterns per layer.
 void save_quantized(std::ostream& os, const QuantizedNetwork& net);
+void save_quantized(const std::string& path, const QuantizedNetwork& net);
 QuantizedNetwork load_quantized(std::istream& is);
+QuantizedNetwork load_quantized(const std::string& path);
 
 }  // namespace dp::nn

@@ -1,0 +1,151 @@
+#include "runtime/model.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace dp::runtime {
+
+namespace {
+
+/// DP_FORCE_STEP_PATH=1 (any value other than unset/empty/"0") forces every
+/// model onto the legacy per-MAC step() path — the no-rebuild cross-check
+/// knob documented in docs/reproducing.md.
+bool step_path_forced() {
+  const char* v = std::getenv("DP_FORCE_STEP_PATH");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
+
+Scratch::Scratch(const nn::QuantizedNetwork& net) {
+  emacs_.reserve(net.layers.size());
+  std::size_t widest = net.input_dim();
+  std::size_t widest_in = net.input_dim();
+  for (const nn::QuantizedLayer& layer : net.layers) {
+    emacs_.push_back(emac::make_emac(net.format, layer.fan_in));
+    widest = std::max(widest, layer.fan_out);
+    widest_in = std::max(widest_in, layer.fan_in);
+  }
+  act_.reserve(widest);
+  next_.reserve(widest);
+  act_dec_.reserve(widest_in);
+}
+
+Model::Model(nn::QuantizedNetwork network, ForwardPath path)
+    : net_(std::move(network)), path_(step_path_forced() ? ForwardPath::kStep : path) {
+  if (net_.layers.empty()) throw std::invalid_argument("runtime::Model: empty network");
+  // Fails fast on unsupported format/fan-in combinations and provides the
+  // units that decode the weight planes below.
+  Scratch probe(net_);
+  if (path_ == ForwardPath::kFused) {
+    weight_planes_.resize(net_.layers.size());
+    for (std::size_t li = 0; li < net_.layers.size(); ++li) {
+      const nn::QuantizedLayer& layer = net_.layers[li];
+      weight_planes_[li].resize(layer.weights.size());
+      probe.emacs_[li]->decode_plane(layer.weights.data(), layer.weights.size(),
+                                     weight_planes_[li].data());
+    }
+  }
+}
+
+std::shared_ptr<const Model> Model::create(nn::QuantizedNetwork network, ForwardPath path) {
+  return std::make_shared<const Model>(std::move(network), path);
+}
+
+Scratch Model::make_scratch() const {
+  // Fresh units carry only immutable configuration (the decode tables come
+  // from the process-wide shared registry, so construction is cheap), never
+  // accumulator or buffer state.
+  return Scratch(net_);
+}
+
+std::uint32_t Model::relu(std::uint32_t bits) const {
+  switch (net_.format.kind()) {
+    case num::Kind::kPosit: {
+      const auto& f = net_.format.posit();
+      bits &= f.mask();
+      if (bits == f.nar_pattern()) return bits;  // NaR passes through
+      // Negative iff the sign bit is set (and not NaR).
+      return ((bits >> (f.n - 1)) & 1u) ? f.zero_pattern() : bits;
+    }
+    case num::Kind::kFloat: {
+      const auto& f = net_.format.flt();
+      bits &= f.mask();
+      // Clear negatives (including -0) to +0.
+      return ((bits >> (f.we + f.wf)) & 1u) ? num::float_zero(f) : bits;
+    }
+    case num::Kind::kFixed: {
+      const auto& f = net_.format.fixed();
+      return num::fixed_raw(bits, f) < 0 ? num::fixed_from_raw(0, f) : (bits & f.mask());
+    }
+  }
+  throw std::logic_error("runtime::Model::relu: bad kind");
+}
+
+void Model::forward_into(std::span<const double> x, Scratch& scratch) const {
+  if (x.size() != net_.input_dim()) {
+    throw std::invalid_argument("runtime::Model::forward_into: bad input size");
+  }
+  std::vector<std::uint32_t>& act = scratch.act_;
+  std::vector<std::uint32_t>& next = scratch.next_;
+  act.clear();
+  for (const double v : x) act.push_back(net_.format.from_double(v));
+
+  const bool fused = path_ == ForwardPath::kFused;
+  for (std::size_t li = 0; li < net_.layers.size(); ++li) {
+    const nn::QuantizedLayer& layer = net_.layers[li];
+    emac::Emac& unit = *scratch.emacs_[li];
+    next.assign(layer.fan_out, 0);
+    if (fused) {
+      // Decode this layer's activation vector once for all fan_out neurons;
+      // the static weights were decoded once at model construction.
+      std::vector<emac::DecodedOp>& adec = scratch.act_dec_;
+      adec.resize(layer.fan_in);
+      unit.decode_plane(act.data(), layer.fan_in, adec.data());
+      const emac::DecodedOp* wplane = weight_planes_[li].data();
+      for (std::size_t j = 0; j < layer.fan_out; ++j) {
+        std::uint32_t out =
+            unit.dot(layer.bias[j], wplane + j * layer.fan_in, adec.data(), layer.fan_in);
+        if (layer.activation == nn::Activation::kReLU) out = relu(out);
+        next[j] = out;
+      }
+    } else {
+      for (std::size_t j = 0; j < layer.fan_out; ++j) {
+        unit.reset(layer.bias[j]);
+        const std::uint32_t* wrow = layer.weights.data() + j * layer.fan_in;
+        for (std::size_t i = 0; i < layer.fan_in; ++i) {
+          unit.step(wrow[i], act[i]);
+        }
+        std::uint32_t out = unit.result();
+        if (layer.activation == nn::Activation::kReLU) out = relu(out);
+        next[j] = out;
+      }
+    }
+    act.swap(next);
+  }
+}
+
+int Model::readout_argmax(const Scratch& scratch) const {
+  const std::span<const std::uint32_t> bits = scratch.activations();
+  int best = 0;
+  double best_score = bits.empty() ? 0.0 : net_.format.to_double(bits[0]);
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    const double score = net_.format.to_double(bits[i]);
+    if (score > best_score) {
+      best = static_cast<int>(i);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::size_t Model::macs_per_inference() const {
+  std::size_t macs = 0;
+  for (const auto& layer : net_.layers) macs += layer.fan_in * layer.fan_out;
+  return macs;
+}
+
+}  // namespace dp::runtime

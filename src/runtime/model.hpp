@@ -1,0 +1,106 @@
+#pragma once
+// runtime::Model — the immutable, shareable half of the inference API.
+//
+// A Model wraps a QuantizedNetwork together with everything derived from it
+// that is read-only at serving time: the pre-decoded weight planes for the
+// fused Emac::dot() kernels and the validated per-layer EMAC configuration.
+// Once constructed it is never mutated, so any number of Sessions (and any
+// number of threads inside each Session's worker pool) can share one Model
+// via std::shared_ptr<const Model>.
+//
+// All mutable inference state — the per-layer EMAC accumulators and the
+// activation ping-pong buffers — lives in a Scratch. A Scratch must never be
+// shared between threads; Sessions keep one per worker-pool slot.
+//
+// Every path through forward_into (fused or step, any Scratch, any thread)
+// produces bit-identical outputs: rows are independent and each is computed
+// by the same deterministic EMAC recurrence.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "emac/emac.hpp"
+#include "nn/quantize.hpp"
+
+namespace dp::runtime {
+
+/// Which matvec kernel Model::forward_into drives.
+///  * kFused — one Emac::dot() call per neuron against the model's
+///    pre-decoded weight planes and a per-sample pre-decoded activation
+///    vector (the hot path; bit-identical to kStep, see
+///    tests/nn/fused_path_test.cpp).
+///  * kStep — the legacy reset/step*k/result recurrence, one virtual call
+///    per MAC. Kept for cross-checking; also forced for every model by
+///    setting the environment variable DP_FORCE_STEP_PATH=1.
+enum class ForwardPath { kFused, kStep };
+
+/// Per-thread mutable inference state: one EMAC per layer (neurons of a
+/// layer share the unit in this software model; hardware instantiates one
+/// per neuron — see dp::arch for the parallel-latency model) plus the
+/// activation ping-pong buffers. Reusable across any number of samples;
+/// never share one Scratch between threads.
+class Scratch {
+ public:
+  explicit Scratch(const nn::QuantizedNetwork& net);
+
+  /// The readout activations (network-format bit patterns) left by the last
+  /// Model::forward_into call; valid until the next call with this Scratch.
+  std::span<const std::uint32_t> activations() const { return act_; }
+
+ private:
+  friend class Model;
+  std::vector<std::unique_ptr<emac::Emac>> emacs_;  // one per layer
+  std::vector<std::uint32_t> act_;                  // current activations
+  std::vector<std::uint32_t> next_;                 // next layer's outputs
+  std::vector<emac::DecodedOp> act_dec_;            // pre-decoded activations
+};
+
+class Model {
+ public:
+  /// Validates every format/fan-in combination and pre-decodes the static
+  /// weight memories (fused path only; a step-path model never reads the
+  /// planes, and a DecodedOp is 8x the raw pattern size).
+  explicit Model(nn::QuantizedNetwork network, ForwardPath path = ForwardPath::kFused);
+
+  /// The idiomatic spelling for serving code: a shared immutable handle,
+  /// ready to hand to any number of Sessions.
+  static std::shared_ptr<const Model> create(nn::QuantizedNetwork network,
+                                             ForwardPath path = ForwardPath::kFused);
+
+  ForwardPath forward_path() const { return path_; }
+  const num::Format& format() const { return net_.format; }
+  const nn::QuantizedNetwork& network() const { return net_; }
+  std::size_t input_dim() const { return net_.input_dim(); }
+  std::size_t output_dim() const { return net_.output_dim(); }
+
+  /// Total number of MAC operations for one inference (for energy models).
+  std::size_t macs_per_inference() const;
+
+  /// Fresh per-thread mutable state for forward_into.
+  Scratch make_scratch() const;
+
+  /// Core matvec chain: quantize `x` into the network format, stream through
+  /// every layer; the readout activations are left in `scratch` (read them
+  /// via scratch.activations()). Throws std::invalid_argument unless
+  /// x.size() == input_dim().
+  void forward_into(std::span<const double> x, Scratch& scratch) const;
+
+  /// argmax class prediction over the decoded readout left in `scratch` by
+  /// the last forward_into.
+  int readout_argmax(const Scratch& scratch) const;
+
+ private:
+  std::uint32_t relu(std::uint32_t bits) const;
+
+  nn::QuantizedNetwork net_;
+  ForwardPath path_;
+  // Pre-decoded weight planes, one per layer, row-major like the raw
+  // patterns: the static weight memories are decoded exactly once at
+  // construction and shared read-only by every Scratch on every thread.
+  std::vector<std::vector<emac::DecodedOp>> weight_planes_;
+};
+
+}  // namespace dp::runtime

@@ -1,0 +1,101 @@
+#include "runtime/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dp::runtime {
+
+namespace {
+
+/// Validate before any member construction: a null model must not cost a
+/// worker-pool spawn/teardown just to report the error.
+std::shared_ptr<const Model> require_model(std::shared_ptr<const Model> model) {
+  if (!model) throw std::invalid_argument("runtime::Session: null model");
+  return model;
+}
+
+}  // namespace
+
+Session::Session(std::shared_ptr<const Model> model, SessionOptions opts)
+    : model_(require_model(std::move(model))), pool_(opts.num_threads) {
+  scratch_.reserve(pool_.slots());
+  for (std::size_t s = 0; s < pool_.slots(); ++s) scratch_.push_back(model_->make_scratch());
+  scores_.reserve(model_->output_dim());
+}
+
+std::span<const std::uint32_t> Session::forward_bits(std::span<const double> x) {
+  model_->forward_into(x, scratch_[0]);
+  return scratch_[0].activations();
+}
+
+std::span<const double> Session::forward(std::span<const double> x) {
+  model_->forward_into(x, scratch_[0]);
+  const std::span<const std::uint32_t> bits = scratch_[0].activations();
+  scores_.clear();
+  for (const std::uint32_t b : bits) scores_.push_back(model_->format().to_double(b));
+  return scores_;
+}
+
+int Session::predict(std::span<const double> x) {
+  model_->forward_into(x, scratch_[0]);
+  return model_->readout_argmax(scratch_[0]);
+}
+
+void Session::check_view(const BatchView& xs) const {
+  if (xs.rows() != 0 && xs.row_width() != model_->input_dim()) {
+    throw std::invalid_argument("runtime::Session: batch row width != model input_dim");
+  }
+}
+
+BatchResult<std::uint32_t> Session::forward_bits(BatchView xs) {
+  check_view(xs);
+  const std::size_t width = model_->output_dim();
+  BatchResult<std::uint32_t> out{std::vector<std::uint32_t>(xs.rows() * width), width};
+  pool_.run(xs.rows(), [&](std::size_t row, std::size_t slot) {
+    model_->forward_into(xs.row(row), scratch_[slot]);
+    const std::span<const std::uint32_t> bits = scratch_[slot].activations();
+    std::copy(bits.begin(), bits.end(), out.data.begin() + row * width);
+  });
+  return out;
+}
+
+BatchResult<double> Session::forward(BatchView xs) {
+  check_view(xs);
+  const std::size_t width = model_->output_dim();
+  const num::Format& fmt = model_->format();
+  BatchResult<double> out{std::vector<double>(xs.rows() * width), width};
+  pool_.run(xs.rows(), [&](std::size_t row, std::size_t slot) {
+    model_->forward_into(xs.row(row), scratch_[slot]);
+    const std::span<const std::uint32_t> bits = scratch_[slot].activations();
+    for (std::size_t i = 0; i < width; ++i) out.data[row * width + i] = fmt.to_double(bits[i]);
+  });
+  return out;
+}
+
+std::vector<int> Session::predict(BatchView xs) {
+  check_view(xs);
+  std::vector<int> out(xs.rows());
+  pool_.run(xs.rows(), [&](std::size_t row, std::size_t slot) {
+    model_->forward_into(xs.row(row), scratch_[slot]);
+    out[row] = model_->readout_argmax(scratch_[slot]);
+  });
+  return out;
+}
+
+double Session::accuracy(BatchView xs, std::span<const int> labels) {
+  if (labels.size() != xs.rows()) {
+    throw std::invalid_argument("runtime::Session::accuracy: size mismatch");
+  }
+  if (xs.rows() == 0) return 0.0;
+  check_view(xs);
+  std::vector<unsigned char> correct(xs.rows(), 0);
+  pool_.run(xs.rows(), [&](std::size_t row, std::size_t slot) {
+    model_->forward_into(xs.row(row), scratch_[slot]);
+    correct[row] = model_->readout_argmax(scratch_[slot]) == labels[row] ? 1 : 0;
+  });
+  std::size_t hits = 0;
+  for (const unsigned char c : correct) hits += c;
+  return static_cast<double>(hits) / static_cast<double>(xs.rows());
+}
+
+}  // namespace dp::runtime

@@ -1,0 +1,88 @@
+#pragma once
+// runtime::Session — the per-client, mutable half of the inference API.
+//
+// A Session binds one shared immutable Model to everything a single caller
+// needs to run inference at serving rates: one Scratch per worker-pool slot
+// (so no path ever locks or allocates per sample) and a persistent WorkerPool
+// whose threads are created once, at Session construction, and only woken per
+// batch submit.
+//
+// Thread-safety contract:
+//  * Model is immutable — share one freely across Sessions and threads.
+//  * A Session is single-client state: calls on one Session must not overlap.
+//    Concurrent callers each hold their own Session (Sessions are cheap; the
+//    weight planes live in the Model).
+//  * The spans returned by the single-sample calls view Session-owned
+//    buffers and stay valid until the next call on the same Session.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/batch.hpp"
+#include "runtime/model.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace dp::runtime {
+
+struct SessionOptions {
+  /// Worker-pool concurrency for the batched entry points, counting the
+  /// submitting thread (which always participates). 0 picks
+  /// std::thread::hardware_concurrency(); 1 spawns no threads and runs
+  /// everything on the submitting thread. Single-sample calls never touch
+  /// the pool.
+  std::size_t num_threads = 1;
+};
+
+class Session {
+ public:
+  explicit Session(std::shared_ptr<const Model> model, SessionOptions opts = {});
+
+  const Model& model() const { return *model_; }
+  std::shared_ptr<const Model> model_ptr() const { return model_; }
+
+  /// Actual pool concurrency (spawned workers + the submitting thread).
+  std::size_t num_threads() const { return pool_.slots(); }
+
+  // --- Single-sample entry points (zero-copy in and out) -------------------
+  // `x` is any contiguous double buffer of input_dim() values. The returned
+  // spans view Session-owned state, valid until the next call on this
+  // Session; copy them out to keep them.
+
+  /// Readout activations as network-format bit patterns.
+  std::span<const std::uint32_t> forward_bits(std::span<const double> x);
+
+  /// Readout activations decoded to doubles.
+  std::span<const double> forward(std::span<const double> x);
+
+  /// argmax class prediction.
+  int predict(std::span<const double> x);
+
+  // --- Batched entry points (contiguous row-major in, flat row-major out) --
+  // Rows are partitioned over the persistent pool; results are bit-identical
+  // for every pool size (rows are independent and each is computed by the
+  // same deterministic EMAC recurrence). Throws std::invalid_argument if
+  // xs.row_width() != input_dim() (non-empty batches).
+
+  BatchResult<std::uint32_t> forward_bits(BatchView xs);
+  BatchResult<double> forward(BatchView xs);
+  std::vector<int> predict(BatchView xs);
+
+  /// Fraction of rows whose prediction equals the label; labels.size() must
+  /// equal xs.rows(). Returns 0 for an empty batch.
+  double accuracy(BatchView xs, std::span<const int> labels);
+
+ private:
+  void check_view(const BatchView& xs) const;
+
+  std::shared_ptr<const Model> model_;
+  std::vector<Scratch> scratch_;  // one per pool slot; [0] also serves the
+                                  // single-sample calls (slot 0 is the
+                                  // submitting thread in both roles)
+  std::vector<double> scores_;    // single-sample decoded readout buffer
+  WorkerPool pool_;
+};
+
+}  // namespace dp::runtime

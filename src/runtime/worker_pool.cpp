@@ -1,0 +1,105 @@
+#include "runtime/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace dp::runtime {
+
+WorkerPool::WorkerPool(std::size_t total_threads) {
+  std::size_t total = total_threads;
+  if (total == 0) total = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(total - 1);
+  try {
+    for (std::size_t slot = 1; slot < total; ++slot) {
+      workers_.emplace_back([this, slot] { worker_main(slot); });
+    }
+  } catch (...) {
+    // Thread creation failed mid-spawn (e.g. resource exhaustion): stop and
+    // join the live workers before surfacing the error — destroying a
+    // joinable std::thread would terminate the process.
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    throw;
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::drain(const RowFn& fn, std::size_t rows, std::size_t slot) {
+  try {
+    for (;;) {
+      const std::size_t begin = cursor_.fetch_add(kRowsPerChunk, std::memory_order_relaxed);
+      if (begin >= rows) return;
+      const std::size_t end = std::min(rows, begin + kRowsPerChunk);
+      for (std::size_t i = begin; i < end; ++i) fn(i, slot);
+    }
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(error_m_);
+    if (!error_) error_ = std::current_exception();
+    cursor_.store(rows, std::memory_order_relaxed);  // drain remaining work
+  }
+}
+
+void WorkerPool::worker_main(std::size_t slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const RowFn* fn = nullptr;
+    std::size_t rows = 0;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      job_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_;
+      rows = job_rows_;
+    }
+    drain(*fn, rows, slot);
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      if (++finished_ == workers_.size()) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t rows, const RowFn& fn) {
+  if (rows == 0) return;
+  // Batches that fit one chunk (and pools of one) never touch the pool
+  // machinery: no wakeup, no handshake, just the submitting thread.
+  if (workers_.empty() || rows <= kRowsPerChunk) {
+    for (std::size_t i = 0; i < rows; ++i) fn(i, 0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    job_ = &fn;
+    job_rows_ = rows;
+    cursor_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    finished_ = 0;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+  drain(fn, rows, /*slot=*/0);
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock, [&] { return finished_ == workers_.size(); });
+    job_ = nullptr;
+  }
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dp::runtime

@@ -1,0 +1,77 @@
+#pragma once
+// Persistent worker pool for the runtime inference Session: the threads are
+// created once, at pool construction, and every batch submit only wakes them
+// — no per-call std::thread spawn (the legacy DeepPositron *_batch entry
+// points paid one pool construction per call).
+//
+// Work is a half-open row range [0, rows): workers pull fixed-size chunks off
+// a shared atomic cursor, so uneven per-row cost balances automatically. The
+// submitting thread always participates as slot 0; a pool of total size 1
+// therefore spawns no threads at all and runs everything inline. Each row
+// callback receives the slot index of the thread executing it, which is how
+// the Session maps rows onto per-slot Scratch state without any locking.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dp::runtime {
+
+class WorkerPool {
+ public:
+  /// Process one row on the thread occupying `slot` (0 = the submitting
+  /// thread, 1..slots()-1 = pool workers).
+  using RowFn = std::function<void(std::size_t row, std::size_t slot)>;
+
+  /// Rows handed out per cursor pop. Small enough to balance uneven rows,
+  /// large enough that the atomic fetch_add never shows up next to the EMAC
+  /// matvec work. Batches no larger than one chunk skip the pool entirely
+  /// and run on the submitting thread.
+  static constexpr std::size_t kRowsPerChunk = 8;
+
+  /// `total_threads` counts the submitting thread: the pool spawns
+  /// total_threads - 1 workers. 0 picks std::thread::hardware_concurrency().
+  explicit WorkerPool(std::size_t total_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total concurrency: spawned workers + the submitting thread.
+  std::size_t slots() const { return workers_.size() + 1; }
+
+  /// Run fn over every row in [0, rows); blocks until all rows are done.
+  /// The first exception thrown by any slot is rethrown here after the
+  /// remaining work drains. Not reentrant: one submit at a time per pool
+  /// (the Session, its only client, is single-threaded by contract).
+  void run(std::size_t rows, const RowFn& fn);
+
+ private:
+  void worker_main(std::size_t slot);
+  /// Chunk-pulling loop shared by the workers and the submitting thread.
+  void drain(const RowFn& fn, std::size_t rows, std::size_t slot);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable job_cv_;   // workers sleep here between submits
+  std::condition_variable done_cv_;  // the submitter waits here per submit
+  std::uint64_t generation_ = 0;     // bumped once per submit
+  std::size_t finished_ = 0;         // workers done with the current generation
+  bool stop_ = false;
+  const RowFn* job_ = nullptr;
+  std::size_t job_rows_ = 0;
+
+  std::atomic<std::size_t> cursor_{0};
+
+  std::mutex error_m_;
+  std::exception_ptr error_;
+};
+
+}  // namespace dp::runtime

@@ -7,6 +7,8 @@
 #include <random>
 #include <sstream>
 
+#include "nn/deep_positron.hpp"
+
 namespace dp::nn {
 namespace {
 
@@ -91,6 +93,97 @@ TEST(NetworkIo, QuantizedRoundTripWithDoubleDigitDims) {
   for (std::size_t l = 0; l < q.layers.size(); ++l) {
     EXPECT_EQ(back.layers[l].weights, q.layers[l].weights);
   }
+}
+
+TEST(NetworkIo, QuantizedFileRoundTrip) {
+  const Mlp net = random_net();
+  const QuantizedNetwork q = quantize(net, num::Format{num::PositFormat{8, 1}});
+  const std::string path = ::testing::TempDir() + "/dpnet_io_test.dpnet-quant";
+  save_quantized(path, q);
+  const QuantizedNetwork back = load_quantized(path);
+  ASSERT_EQ(back.layers.size(), q.layers.size());
+  for (std::size_t l = 0; l < q.layers.size(); ++l) {
+    EXPECT_EQ(back.layers[l].weights, q.layers[l].weights);
+    EXPECT_EQ(back.layers[l].bias, q.layers[l].bias);
+  }
+  EXPECT_THROW(load_quantized(std::string("/nonexistent/dir/x.dpnet-quant")),
+               std::runtime_error);
+  EXPECT_THROW(save_quantized(std::string("/nonexistent/dir/x.dpnet-quant"), q),
+               std::runtime_error);
+}
+
+// A quantized file must survive the patterns real quantized nets contain at
+// the edges: exact zero, posit NaR, and the saturation patterns RNE clips
+// to. The reloaded net must also behave identically (NaR propagation
+// included), not just compare equal as bits.
+TEST(NetworkIo, QuantizedRoundTripPreservesSpecialPatterns) {
+  struct Case {
+    num::Format fmt;
+    std::vector<std::uint32_t> weights;  // fan_in 3, fan_out 2
+  };
+  const num::PositFormat p8{8, 1};
+  const num::FloatFormat f43{4, 3};
+  const num::FixedFormat x86{8, 6};
+  const std::vector<Case> cases{
+      // posit: zero, NaR, maxpos (0x7f), -maxpos (0x81), minpos (0x01)
+      {num::Format{p8},
+       {p8.zero_pattern(), p8.nar_pattern(), 0x7fu, 0x81u, 0x01u, p8.nar_pattern()}},
+      // minifloat: +0, -0, saturated +max, saturated -max
+      {num::Format{f43},
+       {num::Format{f43}.from_double(0.0), num::Format{f43}.from_double(-0.0),
+        num::Format{f43}.from_double(1e30), num::Format{f43}.from_double(-1e30),
+        num::Format{f43}.from_double(1.0), num::Format{f43}.from_double(-1.0)}},
+      // fixed: zero, raw_max, raw_min (two's complement saturation ends)
+      {num::Format{x86},
+       {num::Format{x86}.from_double(0.0), num::Format{x86}.from_double(1e30),
+        num::Format{x86}.from_double(-1e30), num::Format{x86}.from_double(0.5),
+        num::Format{x86}.from_double(-0.5), num::Format{x86}.from_double(1e30)}}};
+
+  for (const Case& c : cases) {
+    QuantizedNetwork q{c.fmt, {}};
+    QuantizedLayer layer;
+    layer.fan_in = 3;
+    layer.fan_out = 2;
+    layer.weights = c.weights;
+    layer.bias = {c.weights[0], c.weights[1]};
+    layer.activation = Activation::kIdentity;
+    q.layers.push_back(layer);
+
+    std::stringstream ss;
+    save_quantized(ss, q);
+    const QuantizedNetwork back = load_quantized(ss);
+    ASSERT_EQ(back.layers.size(), 1u) << c.fmt.name();
+    EXPECT_EQ(back.layers[0].weights, q.layers[0].weights) << c.fmt.name();
+    EXPECT_EQ(back.layers[0].bias, q.layers[0].bias) << c.fmt.name();
+
+    // Same bits in, same bits out: the reloaded net must run bit-identically
+    // (NaR weights poison their neuron the same way on both sides).
+    const DeepPositron original(q);
+    const DeepPositron reloaded(back);
+    const std::vector<double> probe{0.25, -1.0, 3.0};
+    EXPECT_EQ(reloaded.forward_bits(probe), original.forward_bits(probe)) << c.fmt.name();
+  }
+}
+
+TEST(NetworkIo, RejectsMalformedQuantizedInput) {
+  const auto rejects = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(load_quantized(ss), std::runtime_error) << text;
+  };
+  rejects("");                                                   // empty
+  rejects("dpnet-f32 v1\n");                                     // wrong magic
+  rejects("dpnet-quant v2\nformat posit 8 1\nlayers 1\n");       // wrong version
+  rejects("dpnet-quant v1\nformat unum 8 1\nlayers 1\n");        // unknown format kind
+  rejects("dpnet-quant v1\nformat posit eight 1\nlayers 1\n");   // non-numeric width
+  rejects("dpnet-quant v1\nformat posit 8 1\nlayers 0\n");       // zero layers
+  rejects("dpnet-quant v1\nformat posit 8 1\nlayers 1\n"
+          "layer 1 2 swish\n1 2\n3\n");                          // unknown activation
+  rejects("dpnet-quant v1\nformat posit 8 1\nlayers 1\n"
+          "layer 2 2 relu\n1 2 3\n");                            // truncated weights
+  rejects("dpnet-quant v1\nformat posit 8 1\nlayers 1\n"
+          "layer 1 2 relu\n1 2\n");                              // truncated bias
+  rejects("dpnet-quant v1\nformat posit 8 1\nlayers 2\n"
+          "layer 1 2 relu\n1 2\n3\n");                           // missing second layer
 }
 
 TEST(NetworkIo, RejectsMalformedInput) {

@@ -1,0 +1,58 @@
+// Tests for the zero-copy batch types: BatchView geometry and validation,
+// BatchResult row access, and the pack_rows bridge from the legacy
+// vector-of-vectors layout.
+
+#include "runtime/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dp::runtime {
+namespace {
+
+TEST(BatchView, RowMajorGeometry) {
+  const std::vector<double> flat{0, 1, 2, 3, 4, 5};
+  const BatchView view(flat, 3);
+  EXPECT_EQ(view.rows(), 2u);
+  EXPECT_EQ(view.row_width(), 3u);
+  EXPECT_FALSE(view.empty());
+  EXPECT_EQ(view.data(), flat.data());
+  EXPECT_EQ(view.row(1)[0], 3.0);
+  EXPECT_EQ(view.row(1)[2], 5.0);
+  // Rows are views into the original buffer, not copies.
+  EXPECT_EQ(view.row(0).data(), flat.data());
+}
+
+TEST(BatchView, EmptyBatchIsValid) {
+  const BatchView view(std::span<const double>{}, 4);
+  EXPECT_EQ(view.rows(), 0u);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(BatchView, RejectsBadGeometry) {
+  const std::vector<double> flat{0, 1, 2, 3, 4};
+  EXPECT_THROW(BatchView(flat, 3), std::invalid_argument);  // 5 % 3 != 0
+  EXPECT_THROW(BatchView(flat, 0), std::invalid_argument);
+}
+
+TEST(BatchResult, RowAccess) {
+  BatchResult<std::uint32_t> r{{1, 2, 3, 4, 5, 6}, 2};
+  EXPECT_EQ(r.rows(), 3u);
+  EXPECT_EQ(r.row(2)[0], 5u);
+  EXPECT_EQ(r.row(2)[1], 6u);
+}
+
+TEST(PackRows, PacksRowMajorAndValidates) {
+  const std::vector<std::vector<double>> rows{{1, 2}, {3, 4}, {5, 6}};
+  const std::vector<double> flat = pack_rows(rows, 2);
+  EXPECT_EQ(flat, (std::vector<double>{1, 2, 3, 4, 5, 6}));
+  EXPECT_TRUE(pack_rows({}, 2).empty());
+
+  std::vector<std::vector<double>> ragged{{1, 2}, {3}};
+  EXPECT_THROW(pack_rows(ragged, 2), std::invalid_argument);
+  EXPECT_THROW(pack_rows(rows, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dp::runtime

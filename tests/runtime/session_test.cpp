@@ -1,0 +1,182 @@
+// Acceptance tests for the runtime Model/Session API: Session outputs must
+// equal the legacy DeepPositron outputs bit-for-bit for every format in the
+// paper sweep grid (n in [5,8]), across batch sizes {1, 7, 64} and pool
+// sizes {1, 2, 8} — the API redesign is pure plumbing, never a numerics
+// change. Plus the Session-level contracts: zero-copy single-sample spans,
+// step-vs-fused equality, input validation, and model sharing.
+
+#include "runtime/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "nn/deep_positron.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantize.hpp"
+#include "numeric/format.hpp"
+
+namespace dp::runtime {
+namespace {
+
+// An untrained (random-init) net is enough: runtime-vs-legacy equality is a
+// property of the execution engine, not of the weights.
+nn::Mlp random_net() { return nn::Mlp({6, 16, 8, 3}, /*seed=*/42); }
+
+std::vector<double> random_batch(std::size_t rows, std::size_t dim, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  std::vector<double> xs(rows * dim);
+  for (double& v : xs) v = u(rng);
+  return xs;
+}
+
+std::vector<double> row_of(const BatchView& view, std::size_t i) {
+  const auto r = view.row(i);
+  return std::vector<double>(r.begin(), r.end());
+}
+
+TEST(RuntimeSession, BitIdenticalToLegacyAcrossSweepGridBatchAndPoolSizes) {
+  const nn::Mlp net = random_net();
+  const std::vector<double> flat = random_batch(64, net.input_dim(), 5);
+  const BatchView all(flat, net.input_dim());
+
+  for (int n = 5; n <= 8; ++n) {
+    for (const num::Format& fmt : num::paper_format_grid(n)) {
+      const nn::DeepPositron legacy(nn::quantize(net, fmt));
+      // Legacy scalar reference, one fresh engine call per row.
+      std::vector<std::vector<std::uint32_t>> ref_bits;
+      std::vector<int> ref_pred;
+      for (std::size_t i = 0; i < all.rows(); ++i) {
+        ref_bits.push_back(legacy.forward_bits(row_of(all, i)));
+        ref_pred.push_back(legacy.predict(row_of(all, i)));
+      }
+
+      for (const std::size_t pool : {1u, 2u, 8u}) {
+        // Share the legacy engine's model — one decode of the weight planes
+        // serves the legacy facade and every Session.
+        Session session(legacy.model(), {pool});
+        for (const std::size_t batch : {1u, 7u, 64u}) {
+          const BatchView view(std::span<const double>(flat).first(batch * all.row_width()),
+                               all.row_width());
+          const BatchResult<std::uint32_t> bits = session.forward_bits(view);
+          ASSERT_EQ(bits.rows(), batch);
+          for (std::size_t i = 0; i < batch; ++i) {
+            ASSERT_EQ(std::vector<std::uint32_t>(bits.row(i).begin(), bits.row(i).end()),
+                      ref_bits[i])
+                << fmt.name() << " pool " << pool << " batch " << batch << " row " << i;
+          }
+          const std::vector<int> pred = session.predict(view);
+          ASSERT_EQ(pred, std::vector<int>(ref_pred.begin(),
+                                           ref_pred.begin() + static_cast<long>(batch)))
+              << fmt.name() << " pool " << pool << " batch " << batch;
+        }
+      }
+    }
+  }
+}
+
+TEST(RuntimeSession, SingleSampleSpansMatchBatchRows) {
+  const nn::Mlp net = random_net();
+  const num::Format fmt{num::PositFormat{8, 1}};
+  Session session(Model::create(nn::quantize(net, fmt)), {2});
+  const std::vector<double> flat = random_batch(16, net.input_dim(), 9);
+  const BatchView view(flat, net.input_dim());
+
+  const BatchResult<std::uint32_t> bits = session.forward_bits(view);
+  const BatchResult<double> scores = session.forward(view);
+  const std::vector<int> preds = session.predict(view);
+  for (std::size_t i = 0; i < view.rows(); ++i) {
+    const auto b = session.forward_bits(view.row(i));
+    EXPECT_EQ(std::vector<std::uint32_t>(b.begin(), b.end()),
+              std::vector<std::uint32_t>(bits.row(i).begin(), bits.row(i).end()));
+    const auto s = session.forward(view.row(i));
+    EXPECT_EQ(std::vector<double>(s.begin(), s.end()),
+              std::vector<double>(scores.row(i).begin(), scores.row(i).end()));
+    EXPECT_EQ(session.predict(view.row(i)), preds[i]);
+  }
+}
+
+TEST(RuntimeSession, StepAndFusedModelsAreBitIdentical) {
+  const nn::Mlp net = random_net();
+  for (const num::Format& fmt :
+       {num::Format{num::PositFormat{8, 0}}, num::Format{num::FloatFormat{4, 3}},
+        num::Format{num::FixedFormat{8, 6}}}) {
+    Session fused(Model::create(nn::quantize(net, fmt)), {2});
+    Session step(Model::create(nn::quantize(net, fmt), ForwardPath::kStep), {2});
+    const std::vector<double> flat = random_batch(24, net.input_dim(), 21);
+    const BatchView view(flat, net.input_dim());
+    EXPECT_EQ(fused.forward_bits(view).data, step.forward_bits(view).data) << fmt.name();
+  }
+}
+
+TEST(RuntimeSession, AccuracyMatchesLegacyAndIsPoolInvariant) {
+  const nn::Mlp net = random_net();
+  const std::vector<double> flat = random_batch(50, net.input_dim(), 11);
+  const BatchView view(flat, net.input_dim());
+  std::vector<int> ys;
+  std::vector<std::vector<double>> legacy_rows;
+  for (std::size_t i = 0; i < view.rows(); ++i) {
+    ys.push_back(static_cast<int>(i % 3));
+    const auto r = view.row(i);
+    legacy_rows.emplace_back(r.begin(), r.end());
+  }
+  const nn::DeepPositron legacy(nn::quantize(net, num::Format{num::PositFormat{8, 0}}));
+  const double ref = legacy.accuracy(legacy_rows, ys);
+  for (const std::size_t pool : {1u, 2u, 8u}) {
+    Session session(legacy.model(), {pool});
+    EXPECT_EQ(session.accuracy(view, ys), ref) << "pool " << pool;
+  }
+}
+
+TEST(RuntimeSession, SharedModelServesManySessions) {
+  const nn::Mlp net = random_net();
+  const auto model = Model::create(nn::quantize(net, num::Format{num::PositFormat{7, 0}}));
+  Session a(model, {1});
+  Session b(model, {4});
+  EXPECT_EQ(a.model_ptr().get(), b.model_ptr().get());
+  const std::vector<double> flat = random_batch(12, net.input_dim(), 3);
+  const BatchView view(flat, net.input_dim());
+  EXPECT_EQ(a.predict(view), b.predict(view));
+  EXPECT_EQ(b.num_threads(), 4u);
+}
+
+TEST(RuntimeSession, ValidatesInputs) {
+  const nn::Mlp net = random_net();
+  Session session(Model::create(nn::quantize(net, num::Format{num::PositFormat{8, 1}})), {2});
+
+  EXPECT_THROW(Session(nullptr), std::invalid_argument);
+
+  // Batch row width must match the model input width.
+  const std::vector<double> flat(12, 0.5);
+  EXPECT_THROW(session.forward_bits(BatchView(flat, 4)), std::invalid_argument);
+  EXPECT_THROW(session.predict(BatchView(flat, 4)), std::invalid_argument);
+
+  // Single-sample size check comes from the model.
+  EXPECT_THROW(session.predict(std::span<const double>(flat.data(), 4)),
+               std::invalid_argument);
+
+  // Label count must match the batch.
+  const BatchView ok(flat, net.input_dim());
+  const std::vector<int> labels(ok.rows() + 1, 0);
+  EXPECT_THROW(session.accuracy(ok, labels), std::invalid_argument);
+
+  // Empty batches are fine everywhere.
+  const BatchView empty(std::span<const double>{}, net.input_dim());
+  EXPECT_TRUE(session.predict(empty).empty());
+  EXPECT_EQ(session.forward_bits(empty).rows(), 0u);
+  EXPECT_EQ(session.accuracy(empty, std::span<const int>{}), 0.0);
+}
+
+TEST(RuntimeSession, HardwareConcurrencyDefaultWorks) {
+  const nn::Mlp net = random_net();
+  Session session(Model::create(nn::quantize(net, num::Format{num::PositFormat{8, 1}})),
+                  {0});  // 0 = hardware concurrency
+  EXPECT_GE(session.num_threads(), 1u);
+  const std::vector<double> flat = random_batch(5, net.input_dim(), 1);
+  EXPECT_EQ(session.predict(BatchView(flat, net.input_dim())).size(), 5u);
+}
+
+}  // namespace
+}  // namespace dp::runtime
