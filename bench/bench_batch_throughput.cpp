@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/percentile.hpp"
 #include "nn/mlp.hpp"
 #include "nn/quantize.hpp"
 #include "numeric/format.hpp"
@@ -191,13 +192,6 @@ struct LatencyPoint {
   double inferences_per_s;
 };
 
-/// Nearest-rank percentile over a sorted sample (p in (0,100]).
-double percentile(const std::vector<double>& sorted, double p) {
-  const std::size_t rank =
-      static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
-}
-
 void write_latency_json(const std::string& path, int iters, std::size_t threads,
                         const std::vector<LatencyPoint>& points) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -266,7 +260,7 @@ int run_latency(int iters, const std::string& json_path) {
         total += dt.count();
       }
       std::sort(us.begin(), us.end());
-      const double p50 = percentile(us, 50), p99 = percentile(us, 99);
+      const double p50 = core::percentile(us, 50), p99 = core::percentile(us, 99);
       const double mean = total / static_cast<double>(iters);
       const double ips = static_cast<double>(batch) / (mean * 1e-6);
       std::printf("  %8zu  %10.2f  %10.2f  %10.2f  %14.1f\n", batch, p50, p99, mean, ips);

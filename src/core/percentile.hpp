@@ -1,0 +1,23 @@
+#pragma once
+// The one nearest-rank percentile used everywhere a latency/wait
+// distribution is summarized (serve::BatcherStats, the bench JSONs) — a
+// single definition so the p50/p99 numbers reported by the library and by
+// the benches can never silently disagree on rank rounding.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dp::core {
+
+/// Nearest-rank percentile over an already-sorted ascending sample;
+/// p in (0,100]. Returns 0 on an empty sample.
+inline double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t rank =
+      static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace dp::core

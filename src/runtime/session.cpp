@@ -48,15 +48,24 @@ void Session::check_view(const BatchView& xs) const {
 }
 
 BatchResult<std::uint32_t> Session::forward_bits(BatchView xs) {
-  check_view(xs);
   const std::size_t width = model_->output_dim();
   BatchResult<std::uint32_t> out{std::vector<std::uint32_t>(xs.rows() * width), width};
+  forward_bits_into(xs, out.data);
+  return out;
+}
+
+void Session::forward_bits_into(BatchView xs, std::span<std::uint32_t> out) {
+  check_view(xs);
+  const std::size_t width = model_->output_dim();
+  if (out.size() != xs.rows() * width) {
+    throw std::invalid_argument(
+        "runtime::Session::forward_bits_into: out.size() != rows * output_dim");
+  }
   pool_.run(xs.rows(), [&](std::size_t row, std::size_t slot) {
     model_->forward_into(xs.row(row), scratch_[slot]);
     const std::span<const std::uint32_t> bits = scratch_[slot].activations();
-    std::copy(bits.begin(), bits.end(), out.data.begin() + row * width);
+    std::copy(bits.begin(), bits.end(), out.begin() + static_cast<std::ptrdiff_t>(row * width));
   });
-  return out;
 }
 
 BatchResult<double> Session::forward(BatchView xs) {

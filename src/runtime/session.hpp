@@ -70,6 +70,14 @@ class Session {
   BatchResult<double> forward(BatchView xs);
   std::vector<int> predict(BatchView xs);
 
+  /// Batch-submission hook for serving front-ends (serve::DynamicBatcher):
+  /// like forward_bits(BatchView) but writes row i's readout into
+  /// out[i*output_dim() .. (i+1)*output_dim()) of a caller-owned buffer —
+  /// e.g. response storage — instead of allocating a BatchResult per
+  /// micro-batch. Throws std::invalid_argument unless
+  /// out.size() == xs.rows() * output_dim().
+  void forward_bits_into(BatchView xs, std::span<std::uint32_t> out);
+
   /// Fraction of rows whose prediction equals the label; labels.size() must
   /// equal xs.rows(). Returns 0 for an empty batch.
   double accuracy(BatchView xs, std::span<const int> labels);

@@ -1,0 +1,221 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/percentile.hpp"
+
+namespace dp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::shared_ptr<const runtime::Model> require_model(
+    std::shared_ptr<const runtime::Model> model) {
+  if (!model) throw std::invalid_argument("serve::DynamicBatcher: null model");
+  return model;
+}
+
+BatcherOptions validate(BatcherOptions opts) {
+  if (opts.max_batch == 0) {
+    throw std::invalid_argument("serve::DynamicBatcher: max_batch must be >= 1");
+  }
+  if (opts.queue_capacity == 0) {
+    throw std::invalid_argument("serve::DynamicBatcher: queue_capacity must be >= 1");
+  }
+  if (opts.dispatchers == 0) {
+    throw std::invalid_argument("serve::DynamicBatcher: dispatchers must be >= 1");
+  }
+  if (opts.max_wait.count() < 0) {
+    throw std::invalid_argument("serve::DynamicBatcher: max_wait must be >= 0");
+  }
+  return opts;
+}
+
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(std::shared_ptr<const runtime::Model> model,
+                               BatcherOptions opts)
+    : model_(require_model(std::move(model))), opts_(validate(opts)) {
+  pending_x_.reserve(opts_.queue_capacity * model_->input_dim());
+  pending_.reserve(opts_.queue_capacity);
+  wait_window_.reserve(kWaitWindow);
+  dispatchers_.reserve(opts_.dispatchers);
+  for (std::size_t i = 0; i < opts_.dispatchers; ++i) {
+    dispatchers_.emplace_back([this, i] { dispatcher_main(i); });
+  }
+}
+
+DynamicBatcher::~DynamicBatcher() { shutdown(); }
+
+void DynamicBatcher::submit(std::span<const double> x, Callback cb) {
+  if (x.size() != model_->input_dim()) {
+    throw std::invalid_argument("serve::DynamicBatcher: sample size != model input_dim");
+  }
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    if (stop_) {
+      ++rejected_;
+      lk.unlock();
+      cb(Status::kShutdown, {});
+      return;
+    }
+    if (depth_locked() >= opts_.queue_capacity) {
+      ++rejected_;
+      lk.unlock();
+      cb(Status::kQueueFull, {});
+      return;
+    }
+    pending_x_.insert(pending_x_.end(), x.begin(), x.end());
+    pending_.push_back({std::move(cb), Clock::now()});
+    ++accepted_;
+  }
+  cv_.notify_one();
+}
+
+std::future<Reply> DynamicBatcher::submit(std::span<const double> x) {
+  auto promise = std::make_shared<std::promise<Reply>>();
+  std::future<Reply> fut = promise->get_future();
+  submit(x, [promise](Status s, std::span<const std::uint32_t> bits) {
+    promise->set_value(Reply{s, {bits.begin(), bits.end()}});
+  });
+  return fut;
+}
+
+void DynamicBatcher::shutdown() {
+  // Claim the dispatcher threads under the lock: exactly one caller joins
+  // them even if shutdown() is invoked from several threads at once.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+    to_join.swap(dispatchers_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : to_join) t.join();
+}
+
+BatcherStats DynamicBatcher::stats() const {
+  std::vector<double> window;
+  BatcherStats s;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    s.accepted = accepted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.batches = batches_;
+    s.queue_depth = depth_locked();
+    s.in_flight = in_flight_;
+    s.mean_occupancy =
+        batches_ == 0 ? 0 : static_cast<double>(completed_) / static_cast<double>(batches_);
+    window = wait_window_;
+  }
+  std::sort(window.begin(), window.end());
+  s.wait_p50_us = core::percentile(window, 50);
+  s.wait_p99_us = core::percentile(window, 99);
+  return s;
+}
+
+void DynamicBatcher::dispatcher_main(std::size_t index) {
+  // Each dispatcher owns a private Session: per-slot Scratch state is never
+  // shared across dispatchers, and the Model is immutable, so concurrent
+  // micro-batches need no locking past the carve. Spreading an index over
+  // nothing: every Session is identical; the index only names the thread.
+  (void)index;
+  runtime::Session session(model_, {opts_.session_threads});
+  const std::size_t dim = model_->input_dim();
+  const std::size_t out_dim = model_->output_dim();
+
+  std::vector<double> batch_x;      // carved rows, contiguous row-major
+  std::vector<Pending> batch_meta;  // their callbacks, same order
+  std::vector<std::uint32_t> out;   // flush output, reused across flushes
+
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || depth_locked() > 0; });
+    if (depth_locked() == 0) {
+      if (stop_) return;  // drained: every accepted request was flushed
+      continue;
+    }
+    // Flush decision: size trigger, deadline trigger, or shutdown drain.
+    if (depth_locked() < opts_.max_batch && !stop_) {
+      const auto deadline = pending_[head_].enqueued + opts_.max_wait;
+      if (Clock::now() < deadline) {
+        // Sleep until the oldest request's deadline; a submit that reaches
+        // the size trigger (or shutdown) notifies and re-evaluates sooner.
+        cv_.wait_until(lk, deadline);
+        continue;
+      }
+    }
+
+    // Carve up to max_batch rows off the queue front while holding the lock
+    // (memcpy of doubles + callback moves; the inference runs unlocked).
+    // The carve only advances head_; compaction below is amortized O(1)/row.
+    const std::size_t take = std::min(depth_locked(), opts_.max_batch);
+    const auto now = Clock::now();
+    const auto x_first = pending_x_.begin() + static_cast<std::ptrdiff_t>(head_ * dim);
+    batch_x.assign(x_first, x_first + static_cast<std::ptrdiff_t>(take * dim));
+    const auto m_first = pending_.begin() + static_cast<std::ptrdiff_t>(head_);
+    batch_meta.assign(std::make_move_iterator(m_first),
+                      std::make_move_iterator(m_first + static_cast<std::ptrdiff_t>(take)));
+    head_ += take;
+    if (head_ == pending_.size()) {
+      pending_.clear();
+      pending_x_.clear();
+      head_ = 0;
+    } else if (head_ >= opts_.queue_capacity) {
+      pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(head_));
+      pending_x_.erase(pending_x_.begin(),
+                       pending_x_.begin() + static_cast<std::ptrdiff_t>(head_ * dim));
+      head_ = 0;
+    }
+    for (const Pending& p : batch_meta) {
+      const std::chrono::duration<double, std::micro> wait = now - p.enqueued;
+      if (wait_window_.size() < kWaitWindow) {
+        wait_window_.push_back(wait.count());
+      } else {
+        wait_window_[wait_next_] = wait.count();
+      }
+      wait_next_ = (wait_next_ + 1) % kWaitWindow;
+    }
+    ++batches_;
+    ++in_flight_;
+    const bool more = depth_locked() > 0;
+    lk.unlock();
+    // Rows still pending (a burst larger than max_batch): hand them to a
+    // sibling dispatcher so micro-batches overlap instead of queueing.
+    if (more) cv_.notify_one();
+
+    out.resize(take * out_dim);
+    Status status = Status::kOk;
+    try {
+      session.forward_bits_into(runtime::BatchView(batch_x, dim), out);
+    } catch (...) {
+      // A model/session failure must not strand the requests; surface it as
+      // a per-request error status. (With dimensions validated at submit,
+      // this path is unreachable in practice.)
+      status = Status::kBadRequest;
+    }
+    // Account completion BEFORE the callbacks fire: anyone synchronized by a
+    // callback/future (tests, a client that saw its response) must find the
+    // counters already consistent in stats().
+    lk.lock();
+    completed_ += take;
+    --in_flight_;
+    lk.unlock();
+    for (std::size_t i = 0; i < take; ++i) {
+      if (status == Status::kOk) {
+        batch_meta[i].cb(status,
+                         std::span<const std::uint32_t>(out).subspan(i * out_dim, out_dim));
+      } else {
+        batch_meta[i].cb(status, {});
+      }
+    }
+    batch_meta.clear();
+    lk.lock();
+  }
+}
+
+}  // namespace dp::serve

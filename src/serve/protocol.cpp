@@ -1,0 +1,151 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace dp::serve {
+
+namespace {
+
+// --- little-endian scalar packing (explicit, so the wire format does not
+// depend on host byte order or struct layout) ------------------------------
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint16_t>(b[at] | (b[at + 1] << 8));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> b, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+  return v;
+}
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kQueueFull: return "queue-full";
+    case Status::kShutdown: return "shutdown";
+    case Status::kBadRequest: return "bad-request";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) c = kCrcTable[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  const std::uint64_t payload_bytes = frame.payload.size() * 4;
+  if (payload_bytes > kMaxPayloadBytes) {
+    throw ProtocolError("serve protocol: payload exceeds kMaxPayloadBytes");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload_bytes + kTrailerBytes);
+  put_u32(out, kFrameMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  put_u16(out, static_cast<std::uint16_t>(frame.status));
+  put_u64(out, frame.request_id);
+  put_u32(out, static_cast<std::uint32_t>(payload_bytes));
+  for (const std::uint32_t p : frame.payload) put_u32(out, p);
+  put_u32(out, crc32(out));
+  return out;
+}
+
+Frame decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes + kTrailerBytes) {
+    throw ProtocolError("serve protocol: truncated frame (shorter than header + CRC)");
+  }
+  if (get_u32(bytes, 0) != kFrameMagic) throw ProtocolError("serve protocol: bad magic");
+  if (bytes[4] != kProtocolVersion) {
+    throw ProtocolError("serve protocol: unsupported version " + std::to_string(bytes[4]));
+  }
+  const std::uint8_t type = bytes[5];
+  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+    throw ProtocolError("serve protocol: unknown frame type " + std::to_string(type));
+  }
+  const std::uint32_t payload_bytes = get_u32(bytes, 16);
+  if (payload_bytes > kMaxPayloadBytes) {
+    throw ProtocolError("serve protocol: payload length exceeds bound");
+  }
+  if (payload_bytes % 4 != 0) {
+    throw ProtocolError("serve protocol: payload length not a multiple of 4");
+  }
+  if (bytes.size() != kHeaderBytes + payload_bytes + kTrailerBytes) {
+    throw ProtocolError("serve protocol: frame length disagrees with payload length field");
+  }
+  const std::uint32_t want = get_u32(bytes, kHeaderBytes + payload_bytes);
+  const std::uint32_t got = crc32(bytes.first(kHeaderBytes + payload_bytes));
+  if (want != got) throw ProtocolError("serve protocol: CRC mismatch");
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.status = static_cast<Status>(get_u16(bytes, 6));
+  frame.request_id = get_u64(bytes, 8);
+  frame.payload.resize(payload_bytes / 4);
+  for (std::size_t i = 0; i < frame.payload.size(); ++i) {
+    frame.payload[i] = get_u32(bytes, kHeaderBytes + i * 4);
+  }
+  return frame;
+}
+
+void write_frame(FdStream& stream, const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode(frame);
+  stream.write_all(bytes.data(), bytes.size());
+}
+
+std::optional<Frame> read_frame(FdStream& stream) {
+  // Read the fixed header first: it carries the payload length that sizes
+  // the remainder. The length bound is enforced before the allocation.
+  std::array<std::uint8_t, kHeaderBytes> header;
+  if (!stream.read_exact(header.data(), header.size())) return std::nullopt;
+  if (get_u32(header, 0) != kFrameMagic) throw ProtocolError("serve protocol: bad magic");
+  const std::uint32_t payload_bytes = get_u32(header, 16);
+  if (payload_bytes > kMaxPayloadBytes) {
+    throw ProtocolError("serve protocol: payload length exceeds bound");
+  }
+  std::vector<std::uint8_t> frame_bytes(kHeaderBytes + payload_bytes + kTrailerBytes);
+  std::copy(header.begin(), header.end(), frame_bytes.begin());
+  if (!stream.read_exact(frame_bytes.data() + kHeaderBytes, payload_bytes + kTrailerBytes)) {
+    throw TransportError("serve transport: stream ended mid-frame");
+  }
+  return decode(frame_bytes);
+}
+
+}  // namespace dp::serve

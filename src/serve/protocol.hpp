@@ -1,0 +1,92 @@
+#pragma once
+// The dp::serve wire protocol: length-prefixed, CRC-checked binary frames
+// carrying sample payloads as raw network-format bit patterns (posit /
+// minifloat / fixed — whatever the served Model was quantized to).
+//
+// Frame layout (all integers little-endian; full byte table in
+// docs/serving.md):
+//
+//   offset  size  field
+//   0       4     magic "DPSV" (bytes 0x44 0x50 0x53 0x56)
+//   4       1     version (kProtocolVersion)
+//   5       1     frame type (1 = request, 2 = response)
+//   6       2     status  (requests send 0; responses carry serve::Status)
+//   8       8     request id (client-chosen, echoed verbatim in the response)
+//   16      4     payload length in BYTES (= 4 * element count, <= kMaxPayloadBytes)
+//   20      N     payload: element count / 4 u32 bit patterns
+//   20+N    4     CRC-32 (IEEE 802.3 reflected, poly 0xEDB88320) over bytes [0, 20+N)
+//
+// A request payload is the input sample, one pattern per feature, already
+// quantized into the model's format (Client::send does this with
+// Format::from_double — round-to-nearest-even is idempotent on representable
+// values, which is what makes served outputs bit-identical to a direct
+// runtime::Session call on the same doubles). A response payload is the
+// readout activations. Error responses carry an empty payload.
+//
+// decode() never trusts the peer: magic, version, type, length bound and CRC
+// are all checked before any payload byte is interpreted, and a failure is a
+// ProtocolError naming the first rule violated. A stream cannot resync after
+// a framing error, so the server drops the connection on one.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/transport.hpp"
+#include "serve/types.hpp"
+
+namespace dp::serve {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kFrameMagic = 0x56535044u;  // "DPSV" little-endian
+inline constexpr std::size_t kHeaderBytes = 20;
+inline constexpr std::size_t kTrailerBytes = 4;  // the CRC
+/// Admission bound on payload size, enforced before allocation so a
+/// corrupted or hostile length field cannot balloon memory.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2 };
+
+/// The bytes arrived but were not a valid frame (bad magic/version/type,
+/// oversize or misaligned length, CRC mismatch).
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One decoded frame. `payload` holds bit patterns: request = input features
+/// in the model's format, response = readout activations.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  Status status = Status::kOk;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint32_t> payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) of `data`. Exposed for
+/// tests and for anyone implementing the protocol in another language.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Serialize a frame (header + payload + CRC trailer). Throws ProtocolError
+/// if the payload exceeds kMaxPayloadBytes.
+std::vector<std::uint8_t> encode(const Frame& frame);
+
+/// Parse one complete frame from `bytes` (which must be exactly one frame).
+/// Throws ProtocolError on any violation of the format.
+Frame decode(std::span<const std::uint8_t> bytes);
+
+/// Blocking framed write: encode + write_all.
+void write_frame(FdStream& stream, const Frame& frame);
+
+/// Blocking framed read. Returns std::nullopt on clean end-of-stream (peer
+/// closed between frames); throws ProtocolError on malformed bytes and
+/// TransportError if the stream dies mid-frame.
+std::optional<Frame> read_frame(FdStream& stream);
+
+}  // namespace dp::serve

@@ -1,0 +1,219 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dp::serve {
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+Server::Server(std::shared_ptr<const runtime::Model> model, ServerOptions opts)
+    : model_(model),
+      batcher_(std::move(model), opts.batcher),
+      write_timeout_(opts.write_timeout) {}
+
+Server::~Server() { stop(); }
+
+Client Server::connect() {
+  auto [server_end, client_end] = local_stream_pair();
+  if (write_timeout_.count() > 0) server_end.set_send_timeout(write_timeout_);
+  std::lock_guard<std::mutex> lk(m_);
+  if (stopped_) throw std::runtime_error("serve::Server: connect() after stop()");
+  prune_dead_connections_locked();
+  Connection& conn = connections_.emplace_back();
+  conn.stream = std::move(server_end);
+  conn.reader = std::thread([this, &conn] { reader_main(conn); });
+  ++connections_total_;
+  return Client(model_, std::move(client_end));
+}
+
+void Server::prune_dead_connections_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    // Safe to destroy only once the reader returned AND every batcher
+    // callback holding a reference to this Connection has fired (the
+    // decrement is the callback's last touch of it).
+    if (it->reader_done.load() && it->outstanding.load() == 0) {
+      it->reader.join();
+      it = connections_.erase(it);  // FdStream destructor closes the fd
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Drain first: every already-accepted request gets its response written
+  // while the connections are still open. Readers blocked on a live client
+  // keep running; requests they submit from here on get kShutdown replies.
+  batcher_.shutdown();
+  for (Connection& conn : connections_) conn.stream.shutdown_both();
+  for (Connection& conn : connections_) {
+    if (conn.reader.joinable()) conn.reader.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.batcher = batcher_.stats();
+  std::lock_guard<std::mutex> lk(m_);
+  s.connections = connections_total_;
+  s.frames_in = frames_in_;
+  s.frames_out = frames_out_;
+  s.bad_frames = bad_frames_;
+  s.bad_requests = bad_requests_;
+  return s;
+}
+
+void Server::respond(Connection& conn, std::uint64_t id, Status status,
+                     std::span<const std::uint32_t> bits) {
+  Frame frame;
+  frame.type = FrameType::kResponse;
+  frame.status = status;
+  frame.request_id = id;
+  frame.payload.assign(bits.begin(), bits.end());
+  try {
+    std::lock_guard<std::mutex> wl(conn.write_m);
+    write_frame(conn.stream, frame);
+  } catch (const TransportError&) {
+    // Client gone or not reading (send timeout): drop the connection so
+    // every later write (and its parked reader) fails fast instead of each
+    // burning another timeout.
+    conn.stream.shutdown_both();
+    return;
+  }
+  std::lock_guard<std::mutex> lk(m_);
+  ++frames_out_;
+}
+
+void Server::reader_main(Connection& conn) {
+  // On every exit path, mark the reader finished so prune/stop know this
+  // Connection only awaits its in-flight callbacks.
+  struct DoneFlag {
+    std::atomic<bool>& flag;
+    ~DoneFlag() { flag.store(true); }
+  } done{conn.reader_done};
+
+  const std::size_t dim = model_->input_dim();
+  const num::Format& fmt = model_->format();
+  std::vector<double> x(dim);
+  for (;;) {
+    std::optional<Frame> frame;
+    try {
+      frame = read_frame(conn.stream);
+    } catch (const ProtocolError&) {
+      // Un-resyncable on a byte stream: count it and drop the connection.
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        ++bad_frames_;
+      }
+      conn.stream.shutdown_both();
+      return;
+    } catch (const TransportError&) {
+      return;  // connection torn down under us (e.g. Server::stop)
+    }
+    if (!frame) return;  // clean EOF: client closed
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      ++frames_in_;
+    }
+    if (frame->type != FrameType::kRequest || frame->payload.size() != dim) {
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        ++bad_requests_;
+      }
+      respond(conn, frame->request_id, Status::kBadRequest, {});
+      continue;
+    }
+    // The wire carries the sample as format bit patterns; the Session
+    // quantizes its input, and RNE quantization is idempotent on
+    // representable values, so this decode->requantize round trip is exact.
+    for (std::size_t i = 0; i < dim; ++i) x[i] = fmt.to_double(frame->payload[i]);
+    const std::uint64_t id = frame->request_id;
+    conn.outstanding.fetch_add(1);
+    batcher_.submit(x, [this, &conn, id](Status status, std::span<const std::uint32_t> bits) {
+      respond(conn, id, status, bits);
+      conn.outstanding.fetch_sub(1);  // last touch of conn: it may be pruned now
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+std::uint64_t Client::send(std::span<const double> x) {
+  if (x.size() != model_->input_dim()) {
+    throw std::invalid_argument("serve::Client: sample size != model input_dim");
+  }
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.request_id = next_id_++;
+  frame.payload.reserve(x.size());
+  for (const double v : x) frame.payload.push_back(model_->format().from_double(v));
+  write_frame(stream_, frame);
+  awaiting_.insert(frame.request_id);
+  return frame.request_id;
+}
+
+Reply Client::receive(std::uint64_t id) {
+  if (const auto it = buffered_.find(id); it != buffered_.end()) {
+    Reply reply = std::move(it->second);
+    buffered_.erase(it);
+    return reply;
+  }
+  if (awaiting_.find(id) == awaiting_.end()) {
+    throw std::invalid_argument("serve::Client: receive() for an id never sent or already received");
+  }
+  for (;;) {
+    std::optional<Frame> frame = read_frame(stream_);
+    if (!frame) throw TransportError("serve::Client: server closed the connection");
+    if (frame->type != FrameType::kResponse) {
+      throw ProtocolError("serve::Client: server sent a non-response frame");
+    }
+    awaiting_.erase(frame->request_id);
+    if (frame->request_id == id) {
+      return Reply{frame->status, std::move(frame->payload)};
+    }
+    // A response for a different pipelined request: park it for its
+    // receive(). Out-of-order arrival is normal with dispatchers >= 2.
+    buffered_[frame->request_id] = Reply{frame->status, std::move(frame->payload)};
+  }
+}
+
+std::vector<double> Client::forward(std::span<const double> x) {
+  const Reply reply = forward_bits(x);
+  std::vector<double> scores;
+  if (!reply.ok()) return scores;
+  scores.reserve(reply.bits.size());
+  for (const std::uint32_t b : reply.bits) scores.push_back(model_->format().to_double(b));
+  return scores;
+}
+
+int Client::predict(std::span<const double> x) {
+  const Reply reply = forward_bits(x);
+  if (!reply.ok() || reply.bits.empty()) return -1;
+  // Same recurrence as runtime::Model::readout_argmax: first strictly
+  // greatest decoded score wins, so served predictions match Session ones.
+  int best = 0;
+  double best_score = model_->format().to_double(reply.bits[0]);
+  for (std::size_t i = 1; i < reply.bits.size(); ++i) {
+    const double score = model_->format().to_double(reply.bits[i]);
+    if (score > best_score) {
+      best = static_cast<int>(i);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void Client::close() { stream_.shutdown_write(); }
+
+}  // namespace dp::serve

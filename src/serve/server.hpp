@@ -1,0 +1,181 @@
+#pragma once
+// serve::Server / serve::Client — the in-process request/response front-end
+// over the wire protocol.
+//
+// A Server owns one DynamicBatcher (so every connection's requests coalesce
+// into the same micro-batches) and one reader thread per connection.
+// Server::connect() builds an AF_UNIX socketpair, keeps one end, and returns
+// a Client holding the other — the full stack (framing, CRC, batching,
+// Session inference, response demux) runs over real file descriptors with no
+// network access, which is what lets CI exercise it.
+//
+// Request path: the connection reader decodes a frame, validates the feature
+// count (wrong count -> immediate kBadRequest response, the batcher is never
+// touched), converts the bit patterns to doubles, and submits to the
+// batcher. The completion callback encodes the response frame and writes it
+// under the connection's write lock — callbacks fire on dispatcher threads
+// in micro-batch completion order, so responses to one connection may be
+// written out of request order; the echoed request id is what lets the
+// client demux them. A framing error (bad magic/CRC) is unrecoverable on a
+// byte stream, so the server closes that connection and counts it.
+//
+// Client threading contract mirrors runtime::Session: one Client is
+// single-caller state (calls on it must not overlap); open as many Clients
+// as there are concurrent caller threads.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "numeric/format.hpp"
+#include "runtime/model.hpp"
+#include "serve/batcher.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+namespace dp::serve {
+
+struct ServerOptions {
+  BatcherOptions batcher = {};
+  /// Upper bound on how long one response write may block on a client that
+  /// stopped reading. Past it the client counts as dead: its connection is
+  /// dropped and its remaining responses discarded, so one stalled client
+  /// can never head-of-line-block the dispatcher (or deadlock stop()).
+  std::chrono::milliseconds write_timeout{5000};
+};
+
+/// BatcherStats plus the wire-level counters of every connection.
+struct ServerStats {
+  BatcherStats batcher;
+  std::uint64_t connections = 0;    ///< total ever accepted
+  std::uint64_t frames_in = 0;      ///< request frames decoded
+  std::uint64_t frames_out = 0;     ///< response frames written
+  std::uint64_t bad_frames = 0;     ///< framing errors (connection dropped)
+  std::uint64_t bad_requests = 0;   ///< well-framed but invalid (wrong dim)
+};
+
+class Client;
+
+class Server {
+ public:
+  explicit Server(std::shared_ptr<const runtime::Model> model, ServerOptions opts = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const runtime::Model& model() const { return *model_; }
+
+  /// Open a new in-process connection: spawns the server-side reader thread
+  /// and returns the Client end. Throws std::runtime_error after stop().
+  Client connect();
+
+  ServerStats stats() const;
+
+  /// Orderly shutdown: drain the batcher (every accepted request is
+  /// answered), close every connection, join the readers. Idempotent; the
+  /// destructor calls it. Clients see end-of-stream afterwards.
+  void stop();
+
+ private:
+  struct Connection {
+    FdStream stream;
+    std::mutex write_m;  // responses come from dispatcher threads, serialized here
+    std::thread reader;
+    std::atomic<std::uint64_t> outstanding{0};  // batcher requests not yet responded
+    std::atomic<bool> reader_done{false};
+  };
+
+  void reader_main(Connection& conn);
+  /// Drop list entries whose reader has exited and whose last batcher
+  /// callback has fired (closing the fd); called under m_ from connect() so
+  /// connection churn cannot exhaust descriptors.
+  void prune_dead_connections_locked();
+  void respond(Connection& conn, std::uint64_t id, Status status,
+               std::span<const std::uint32_t> bits);
+
+  std::shared_ptr<const runtime::Model> model_;
+  DynamicBatcher batcher_;
+  const std::chrono::milliseconds write_timeout_;
+
+  mutable std::mutex m_;
+  bool stopped_ = false;
+  std::list<Connection> connections_;  // list: Connection is pinned (thread + mutex)
+  std::uint64_t connections_total_ = 0;
+  std::uint64_t frames_in_ = 0, frames_out_ = 0, bad_frames_ = 0, bad_requests_ = 0;
+};
+
+/// The caller's end of one connection. Two usage styles:
+///  * blocking round trip: forward_bits(x) / predict(x);
+///  * pipelined: several send()s, then receive(id) in any order — responses
+///    arriving for other ids are buffered until their receive().
+class Client {
+ public:
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  const num::Format& format() const { return model_->format(); }
+
+  /// Quantize `x` into the model format (the wire carries raw bit patterns,
+  /// docs/serving.md), frame it, write it. Returns the request id. Throws
+  /// std::invalid_argument unless x.size() == the model input_dim.
+  std::uint64_t send(std::span<const double> x);
+
+  /// Block until the response for `id` arrives (buffering any other
+  /// responses seen meanwhile). Throws TransportError if the server goes
+  /// away first, std::invalid_argument for an id never sent or already
+  /// received.
+  Reply receive(std::uint64_t id);
+
+  /// Blocking round trip: readout bit patterns for one sample.
+  Reply forward_bits(std::span<const double> x) { return receive(send(x)); }
+
+  /// Blocking round trip decoded to doubles (empty on a non-Ok status).
+  std::vector<double> forward(std::span<const double> x);
+
+  /// Blocking round trip to an argmax class (-1 on a non-Ok status).
+  int predict(std::span<const double> x);
+
+  // --- Protocol-level escape hatches ---------------------------------------
+  // For tests and alternative protocol implementations: bypass the sample
+  // encoding and speak raw frames/bytes. Mixing these with pipelined
+  // send()/receive() bookkeeping is the caller's problem.
+
+  /// Write one pre-built frame verbatim.
+  void send_frame(const Frame& frame) { write_frame(stream_, frame); }
+
+  /// Write arbitrary bytes (e.g. a deliberately corrupted frame).
+  void send_bytes(std::span<const std::uint8_t> bytes) {
+    stream_.write_all(bytes.data(), bytes.size());
+  }
+
+  /// Read the next frame off the wire; std::nullopt once the server closes.
+  std::optional<Frame> receive_frame() { return read_frame(stream_); }
+
+  /// Half-close: tells the server this client is done sending.
+  void close();
+
+ private:
+  friend class Server;
+  Client(std::shared_ptr<const runtime::Model> model, FdStream stream)
+      : model_(std::move(model)), stream_(std::move(stream)) {}
+
+  std::shared_ptr<const runtime::Model> model_;
+  FdStream stream_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Reply> buffered_;  // out-of-order responses parked here
+  std::set<std::uint64_t> awaiting_;         // sent, not yet received
+};
+
+}  // namespace dp::serve

@@ -1,0 +1,98 @@
+#include "serve/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dp::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* op) {
+  throw TransportError(std::string("serve transport: ") + op + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FdStream::~FdStream() { close(); }
+
+FdStream& FdStream::operator=(FdStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FdStream::write_all(const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a vanished peer must become an exception on the writing
+    // thread (a batcher dispatcher), never a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer has stopped draining its socket.
+        throw TransportError("serve transport: send timed out (peer not reading)");
+      }
+      throw_errno("send");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+bool FdStream::read_exact(void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF on a frame boundary
+      throw TransportError("serve transport: stream ended mid-buffer");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void FdStream::set_send_timeout(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_SNDTIMEO)");
+  }
+}
+
+void FdStream::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void FdStream::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void FdStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<FdStream, FdStream> local_stream_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) throw_errno("socketpair");
+  return {FdStream(fds[0]), FdStream(fds[1])};
+}
+
+}  // namespace dp::serve

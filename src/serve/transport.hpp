@@ -1,0 +1,76 @@
+#pragma once
+// Minimal blocking byte-stream transport for the serve subsystem. The whole
+// serving stack is exercised in CI without network access, so the only
+// concrete transport is a connected AF_UNIX socketpair: Server::connect()
+// keeps one end and hands the other to the Client. Everything above this
+// layer (protocol framing, batching) sees only an ordered, reliable byte
+// stream, so swapping in a TCP fd later changes nothing else.
+
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dp::serve {
+
+/// Error from the OS layer (socketpair/read/write failure, peer gone
+/// mid-frame). Distinct from ProtocolError, which means the bytes arrived
+/// but were not a valid frame.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Owning, move-only wrapper of one end of a connected stream socket.
+/// Blocking semantics; writes never raise SIGPIPE (a dead peer surfaces as
+/// a TransportError instead, which matters because responses are written
+/// from batcher dispatcher threads).
+class FdStream {
+ public:
+  FdStream() = default;
+  explicit FdStream(int fd) : fd_(fd) {}
+  ~FdStream();
+
+  FdStream(FdStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdStream& operator=(FdStream&& other) noexcept;
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Write the whole buffer (looping over partial writes / EINTR). Throws
+  /// TransportError on failure, including a closed peer.
+  void write_all(const void* data, std::size_t len);
+
+  /// Read exactly `len` bytes. Returns false on clean end-of-stream at byte
+  /// 0 (peer finished and closed); throws TransportError if the stream ends
+  /// mid-buffer or on any OS error.
+  bool read_exact(void* data, std::size_t len);
+
+  /// Bound how long a write_all may block on a full socket buffer (a peer
+  /// that stopped reading): past the timeout the write fails with a
+  /// TransportError instead of blocking forever. 0 restores "block forever".
+  void set_send_timeout(std::chrono::milliseconds timeout);
+
+  /// Half-close the write side: the peer's next read_exact returns false
+  /// once buffered data drains. Used for orderly connection teardown.
+  void shutdown_write();
+
+  /// Close both directions without closing the fd owner relationship;
+  /// unblocks a peer (or our own thread) parked in read_exact.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected pair of local stream sockets (AF_UNIX SOCK_STREAM): bytes
+/// written to one end are read from the other, in order, with no framing of
+/// its own. Throws TransportError if the OS refuses.
+std::pair<FdStream, FdStream> local_stream_pair();
+
+}  // namespace dp::serve

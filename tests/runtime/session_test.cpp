@@ -111,6 +111,24 @@ TEST(RuntimeSession, StepAndFusedModelsAreBitIdentical) {
   }
 }
 
+TEST(RuntimeSession, ForwardBitsIntoWritesCallerBufferIdentically) {
+  // The serving hook (serve::DynamicBatcher writes micro-batch results
+  // straight into response storage): same bits as the allocating overload,
+  // and a strict size check on the caller's buffer.
+  const nn::Mlp net = random_net();
+  Session session(Model::create(nn::quantize(net, num::Format{num::PositFormat{8, 0}})), {2});
+  const std::vector<double> flat = random_batch(10, net.input_dim(), 33);
+  const BatchView view(flat, net.input_dim());
+
+  const BatchResult<std::uint32_t> want = session.forward_bits(view);
+  std::vector<std::uint32_t> out(view.rows() * session.model().output_dim(), 0xffffffffu);
+  session.forward_bits_into(view, out);
+  EXPECT_EQ(out, want.data);
+
+  std::vector<std::uint32_t> wrong_size(out.size() - 1);
+  EXPECT_THROW(session.forward_bits_into(view, wrong_size), std::invalid_argument);
+}
+
 TEST(RuntimeSession, AccuracyMatchesLegacyAndIsPoolInvariant) {
   const nn::Mlp net = random_net();
   const std::vector<double> flat = random_batch(50, net.input_dim(), 11);

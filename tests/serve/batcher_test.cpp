@@ -1,0 +1,241 @@
+// DynamicBatcher contract tests: the flush triggers (size, deadline,
+// shutdown drain), admission backpressure, per-request completion under
+// overlapping out-of-order micro-batches, and bit-identity of everything it
+// serves against a direct runtime::Session on the same rows.
+
+#include "serve/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <random>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/quantize.hpp"
+#include "numeric/format.hpp"
+
+namespace dp::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<const runtime::Model> small_model() {
+  static const std::shared_ptr<const runtime::Model> model = runtime::Model::create(
+      nn::quantize(nn::Mlp({6, 16, 8, 3}, /*seed=*/42), num::Format{num::PositFormat{8, 0}}));
+  return model;
+}
+
+/// A heavier net (~76k MACs/row) so a full micro-batch stays in flight for a
+/// measurable time in the overlap test.
+std::shared_ptr<const runtime::Model> heavy_model() {
+  static const std::shared_ptr<const runtime::Model> model = runtime::Model::create(
+      nn::quantize(nn::Mlp({32, 256, 256, 10}, /*seed=*/3), num::Format{num::PositFormat{8, 0}}));
+  return model;
+}
+
+std::vector<double> random_rows(std::size_t rows, std::size_t dim, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  std::vector<double> xs(rows * dim);
+  for (double& v : xs) v = u(rng);
+  return xs;
+}
+
+std::vector<std::uint32_t> direct_bits(const std::shared_ptr<const runtime::Model>& model,
+                                       std::span<const double> x) {
+  runtime::Session session(model);
+  const auto bits = session.forward_bits(x);
+  return {bits.begin(), bits.end()};
+}
+
+TEST(ServeBatcher, LoneRequestFlushesOnDeadline) {
+  const auto model = small_model();
+  BatcherOptions opts;
+  opts.max_batch = 64;  // never reached: the deadline must fire
+  opts.max_wait = 20ms;
+  DynamicBatcher batcher(model, opts);
+
+  const std::vector<double> x = random_rows(1, model->input_dim(), 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::future<Reply> fut = batcher.submit(x);
+  ASSERT_EQ(fut.wait_for(5s), std::future_status::ready) << "deadline flush never fired";
+  const auto waited = std::chrono::steady_clock::now() - t0;
+
+  const Reply reply = fut.get();
+  EXPECT_EQ(reply.status, Status::kOk);
+  EXPECT_EQ(reply.bits, direct_bits(model, x));
+  EXPECT_GE(waited, 15ms) << "flushed before the deadline with no size trigger";
+
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.mean_occupancy, 1.0);
+  EXPECT_GT(stats.wait_p50_us, 0.0);
+}
+
+TEST(ServeBatcher, ExactCapacityBurstCoalescesIntoOneFullBatch) {
+  const auto model = small_model();
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait = 10s;  // only the size trigger can fire inside the test
+  DynamicBatcher batcher(model, opts);
+
+  const std::size_t dim = model->input_dim();
+  const std::vector<double> xs = random_rows(opts.max_batch, dim, 2);
+  std::vector<std::future<Reply>> futures;
+  for (std::size_t i = 0; i < opts.max_batch; ++i) {
+    futures.push_back(batcher.submit(std::span(xs).subspan(i * dim, dim)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(5s), std::future_status::ready) << "row " << i;
+    const Reply reply = futures[i].get();
+    EXPECT_EQ(reply.status, Status::kOk);
+    EXPECT_EQ(reply.bits, direct_bits(model, std::span(xs).subspan(i * dim, dim))) << i;
+  }
+
+  // With the deadline out of reach, the only possible flush is one batch of
+  // exactly max_batch rows — occupancy must be perfect.
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.completed, opts.max_batch);
+  EXPECT_EQ(stats.mean_occupancy, static_cast<double>(opts.max_batch));
+}
+
+TEST(ServeBatcher, AdmissionRejectsWithQueueFullAndDrainServesTheAccepted) {
+  const auto model = small_model();
+  BatcherOptions opts;
+  opts.max_batch = 64;
+  opts.max_wait = 10s;  // park the accepted rows; only shutdown will flush
+  opts.queue_capacity = 4;
+  DynamicBatcher batcher(model, opts);
+
+  const std::size_t dim = model->input_dim();
+  const std::vector<double> xs = random_rows(6, dim, 3);
+  std::vector<std::future<Reply>> accepted;
+  for (std::size_t i = 0; i < 4; ++i) {
+    accepted.push_back(batcher.submit(std::span(xs).subspan(i * dim, dim)));
+  }
+  // 5th and 6th hit the bound: completed immediately, nothing queued.
+  for (std::size_t i = 4; i < 6; ++i) {
+    std::future<Reply> rejected = batcher.submit(std::span(xs).subspan(i * dim, dim));
+    ASSERT_EQ(rejected.wait_for(0s), std::future_status::ready)
+        << "backpressure must reject at admission, not after a wait";
+    EXPECT_EQ(rejected.get().status, Status::kQueueFull);
+  }
+  {
+    const BatcherStats stats = batcher.stats();
+    EXPECT_EQ(stats.accepted, 4u);
+    EXPECT_EQ(stats.rejected, 2u);
+    EXPECT_EQ(stats.queue_depth, 4u);
+  }
+
+  // Shutdown drains: every accepted request is served, never dropped.
+  batcher.shutdown();
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    ASSERT_EQ(accepted[i].wait_for(5s), std::future_status::ready) << i;
+    const Reply reply = accepted[i].get();
+    EXPECT_EQ(reply.status, Status::kOk);
+    EXPECT_EQ(reply.bits, direct_bits(model, std::span(xs).subspan(i * dim, dim))) << i;
+  }
+  EXPECT_EQ(batcher.stats().completed, 4u);
+}
+
+TEST(ServeBatcher, SubmitAfterShutdownCompletesWithShutdownStatus) {
+  const auto model = small_model();
+  DynamicBatcher batcher(model, {});
+  batcher.shutdown();
+  std::future<Reply> fut = batcher.submit(random_rows(1, model->input_dim(), 4));
+  ASSERT_EQ(fut.wait_for(0s), std::future_status::ready);
+  EXPECT_EQ(fut.get().status, Status::kShutdown);
+  EXPECT_EQ(batcher.stats().rejected, 1u);
+}
+
+TEST(ServeBatcher, ValidatesSampleDimensionAndOptions) {
+  const auto model = small_model();
+  DynamicBatcher batcher(model, {});
+  const std::vector<double> short_x(model->input_dim() - 1, 0.5);
+  EXPECT_THROW(batcher.submit(short_x), std::invalid_argument);
+
+  EXPECT_THROW(DynamicBatcher(nullptr, {}), std::invalid_argument);
+  EXPECT_THROW(DynamicBatcher(model, {.max_batch = 0}), std::invalid_argument);
+  EXPECT_THROW(DynamicBatcher(model, {.queue_capacity = 0}), std::invalid_argument);
+  EXPECT_THROW(DynamicBatcher(model, {.dispatchers = 0}), std::invalid_argument);
+}
+
+// Two dispatchers, a full heavy micro-batch in flight, then a lone request:
+// the lone request's deadline flush must be dispatched by the idle sibling
+// and (almost always) complete while the big batch is still running —
+// overlapping micro-batches finishing out of submission order. Per-request
+// completion means this must never mix up results, which is asserted on
+// every attempt; the out-of-order observation itself is asserted across a
+// handful of attempts to be robust to scheduler noise.
+TEST(ServeBatcher, OverlappingMicroBatchesCompleteOutOfOrderPerRequest) {
+  const auto model = heavy_model();
+  const std::size_t dim = model->input_dim();
+  const std::size_t big = 16;
+
+  bool observed_out_of_order = false;
+  for (int attempt = 0; attempt < 10 && !observed_out_of_order; ++attempt) {
+    BatcherOptions opts;
+    opts.max_batch = big;
+    opts.max_wait = 500us;  // the lone request flushes almost immediately
+    opts.dispatchers = 2;
+    DynamicBatcher batcher(model, opts);
+
+    const std::vector<double> xs =
+        random_rows(big + 1, dim, static_cast<std::uint32_t>(100 + attempt));
+    std::atomic<std::size_t> big_done{0};  // incremented inside completion callbacks
+    std::atomic<bool> lone_overtook{false};
+    std::vector<std::promise<Reply>> big_promises(big);
+    std::vector<std::future<Reply>> big_futures;
+    for (std::size_t i = 0; i < big; ++i) {
+      big_futures.push_back(big_promises[i].get_future());
+      batcher.submit(std::span(xs).subspan(i * dim, dim),
+                     [&, i](Status s, std::span<const std::uint32_t> bits) {
+                       big_done.fetch_add(1);
+                       big_promises[i].set_value(Reply{s, {bits.begin(), bits.end()}});
+                     });
+    }
+    // Wait until the full batch is carved and in flight so the lone request
+    // can only land in a *second*, overlapping micro-batch.
+    const auto carve_deadline = std::chrono::steady_clock::now() + 5s;
+    while (std::chrono::steady_clock::now() < carve_deadline) {
+      const BatcherStats s = batcher.stats();
+      if (s.in_flight >= 1 && s.queue_depth == 0) break;
+      if (big_done.load() == big) break;  // batch already finished: attempt lost
+      std::this_thread::yield();
+    }
+    std::promise<Reply> lone_promise;
+    std::future<Reply> lone_future = lone_promise.get_future();
+    batcher.submit(std::span(xs).subspan(big * dim, dim),
+                   [&](Status s, std::span<const std::uint32_t> bits) {
+                     if (big_done.load() < big) lone_overtook = true;
+                     lone_promise.set_value(Reply{s, {bits.begin(), bits.end()}});
+                   });
+    ASSERT_EQ(lone_future.wait_for(10s), std::future_status::ready);
+
+    // Correctness on every attempt: each reply is that row's own readout.
+    const Reply lone = lone_future.get();
+    EXPECT_EQ(lone.status, Status::kOk);
+    EXPECT_EQ(lone.bits, direct_bits(model, std::span(xs).subspan(big * dim, dim)));
+    for (std::size_t i = 0; i < big; ++i) {
+      ASSERT_EQ(big_futures[i].wait_for(10s), std::future_status::ready) << i;
+      const Reply reply = big_futures[i].get();
+      EXPECT_EQ(reply.status, Status::kOk);
+      EXPECT_EQ(reply.bits, direct_bits(model, std::span(xs).subspan(i * dim, dim))) << i;
+    }
+    if (lone_overtook.load()) observed_out_of_order = true;
+    // Normally exactly 2 (the full batch + the lone deadline flush); a
+    // heavily loaded host may split the first burst across more.
+    EXPECT_GE(batcher.stats().batches, 2u);
+  }
+  EXPECT_TRUE(observed_out_of_order)
+      << "lone micro-batch never completed while the big one was in flight";
+}
+
+}  // namespace
+}  // namespace dp::serve

@@ -1,0 +1,173 @@
+// Wire-protocol contract tests: encode/decode round trips, every decode
+// validation rule (magic, version, type, length bound/alignment, CRC), the
+// published CRC-32 test vector, and framed blocking I/O over the in-process
+// socketpair transport (multiple frames, clean EOF, mid-frame death).
+
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace dp::serve {
+namespace {
+
+Frame sample_request() {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.status = Status::kOk;
+  f.request_id = 0x1122334455667788ull;
+  f.payload = {0x00u, 0x7fu, 0x80u, 0xffu, 0xdeadbeefu};
+  return f;
+}
+
+TEST(ServeProtocol, EncodeDecodeRoundTripsRequestAndResponse) {
+  const Frame req = sample_request();
+  EXPECT_EQ(decode(encode(req)), req);
+
+  Frame resp;
+  resp.type = FrameType::kResponse;
+  resp.status = Status::kQueueFull;
+  resp.request_id = 7;
+  resp.payload = {};  // error responses carry no payload
+  EXPECT_EQ(decode(encode(resp)), resp);
+}
+
+TEST(ServeProtocol, FrameLayoutMatchesSpec) {
+  // Pin the byte-level layout documented in docs/serving.md: any change here
+  // is a wire-format break and must bump kProtocolVersion.
+  const Frame req = sample_request();
+  const std::vector<std::uint8_t> bytes = encode(req);
+  ASSERT_EQ(bytes.size(), kHeaderBytes + req.payload.size() * 4 + kTrailerBytes);
+  EXPECT_EQ(bytes[0], 'D');
+  EXPECT_EQ(bytes[1], 'P');
+  EXPECT_EQ(bytes[2], 'S');
+  EXPECT_EQ(bytes[3], 'V');
+  EXPECT_EQ(bytes[4], kProtocolVersion);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(FrameType::kRequest));
+  EXPECT_EQ(bytes[6], 0);  // status lo
+  EXPECT_EQ(bytes[7], 0);  // status hi
+  EXPECT_EQ(bytes[8], 0x88);   // request id, little-endian
+  EXPECT_EQ(bytes[15], 0x11);
+  EXPECT_EQ(bytes[16], 20);  // payload length = 5 * 4 bytes, little-endian
+  EXPECT_EQ(bytes[17], 0);
+  EXPECT_EQ(bytes[20], 0x00);  // first pattern, little-endian u32
+  EXPECT_EQ(bytes[24], 0x7f);
+}
+
+TEST(ServeProtocol, Crc32MatchesPublishedTestVector) {
+  // The canonical IEEE 802.3 check value: crc32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32({reinterpret_cast<const std::uint8_t*>(s), 9}), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(ServeProtocol, DecodeRejectsCorruption) {
+  const std::vector<std::uint8_t> good = encode(sample_request());
+
+  // Any flipped payload or header bit fails the CRC.
+  for (const std::size_t at : {std::size_t{8}, std::size_t{21}, good.size() - 5}) {
+    std::vector<std::uint8_t> bad = good;
+    bad[at] ^= 0x40;
+    EXPECT_THROW(decode(bad), ProtocolError) << "flipped byte " << at;
+  }
+  // A flipped CRC byte too.
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad.back() ^= 1;
+    EXPECT_THROW(decode(bad), ProtocolError);
+  }
+}
+
+TEST(ServeProtocol, DecodeRejectsBadMagicVersionTypeAndLengths) {
+  const Frame req = sample_request();
+  {
+    std::vector<std::uint8_t> bad = encode(req);
+    bad[0] = 'X';
+    EXPECT_THROW(decode(bad), ProtocolError);
+  }
+  {  // unsupported version, CRC recomputed so only the version rule fires
+    std::vector<std::uint8_t> bad = encode(req);
+    bad[4] = kProtocolVersion + 1;
+    const std::uint32_t c = crc32(std::span(bad).first(bad.size() - 4));
+    std::memcpy(bad.data() + bad.size() - 4, &c, 4);
+    EXPECT_THROW(decode(bad), ProtocolError);
+  }
+  {  // unknown frame type
+    std::vector<std::uint8_t> bad = encode(req);
+    bad[5] = 9;
+    const std::uint32_t c = crc32(std::span(bad).first(bad.size() - 4));
+    std::memcpy(bad.data() + bad.size() - 4, &c, 4);
+    EXPECT_THROW(decode(bad), ProtocolError);
+  }
+  {  // truncated: shorter than header + CRC
+    const std::vector<std::uint8_t> bytes = encode(req);
+    EXPECT_THROW(decode(std::span(bytes).first(kHeaderBytes - 1)), ProtocolError);
+  }
+  {  // length field disagrees with the actual frame size
+    std::vector<std::uint8_t> bad = encode(req);
+    bad[16] = 4;  // claims 1 element; buffer still holds 5
+    EXPECT_THROW(decode(bad), ProtocolError);
+  }
+  {  // oversize payload refused before any allocation
+    Frame huge = req;
+    huge.payload.assign(kMaxPayloadBytes / 4 + 1, 0);
+    EXPECT_THROW(encode(huge), ProtocolError);
+  }
+}
+
+TEST(ServeProtocol, FramedIoOverLocalPairDeliversInOrderThenCleanEof) {
+  auto [a, b] = local_stream_pair();
+  Frame first = sample_request();
+  Frame second = sample_request();
+  second.request_id = 2;
+  second.type = FrameType::kResponse;
+  second.status = Status::kShutdown;
+  second.payload.clear();
+
+  write_frame(a, first);
+  write_frame(a, second);
+  a.shutdown_write();
+
+  EXPECT_EQ(read_frame(b), first);
+  EXPECT_EQ(read_frame(b), second);
+  EXPECT_EQ(read_frame(b), std::nullopt);  // clean EOF on a frame boundary
+}
+
+TEST(ServeProtocol, StreamDyingMidFrameIsATransportError) {
+  auto [a, b] = local_stream_pair();
+  const std::vector<std::uint8_t> bytes = encode(sample_request());
+  a.write_all(bytes.data(), 10);  // half a header, then the peer vanishes
+  a.close();
+  EXPECT_THROW(read_frame(b), TransportError);
+}
+
+TEST(ServeProtocol, GarbageBytesAreAProtocolError) {
+  auto [a, b] = local_stream_pair();
+  std::vector<std::uint8_t> garbage(64, 0xA5);
+  a.write_all(garbage.data(), garbage.size());
+  EXPECT_THROW(read_frame(b), ProtocolError);
+}
+
+TEST(ServeProtocol, LargePayloadRoundTripsThroughTheSocketBuffer) {
+  // Bigger than a typical socket buffer chunk: exercises the partial
+  // read/write loops. A writer thread keeps the pipe drained.
+  Frame big;
+  big.type = FrameType::kResponse;
+  big.request_id = 99;
+  big.payload.resize(kMaxPayloadBytes / 4);
+  for (std::size_t i = 0; i < big.payload.size(); ++i) {
+    big.payload[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  }
+  auto [a, b] = local_stream_pair();
+  std::thread writer([&] { write_frame(a, big); });
+  const std::optional<Frame> got = read_frame(b);
+  writer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, big);
+}
+
+}  // namespace
+}  // namespace dp::serve
