@@ -1,0 +1,305 @@
+// Multi-model serving bench for the dp::serve registry stack — the paper's
+// flagship multi-scenario workload served for real: several format variants
+// of the same network (cf. the posit-vs-fixed comparison of Table II /
+// Langroudi et al.) live side by side in one serve::ModelRegistry behind one
+// TCP server, and concurrent clients fan their requests across them by
+// protocol-v2 model name. No paper counterpart; this is the engineering
+// bench for the registry + TCP transport (docs/serving.md,
+// docs/deployment.md).
+//
+// Two sections, one JSON artifact (BENCH_registry.json by default, archived
+// by CI next to the other bench JSONs):
+//
+//  * registry — `clients` threads x `requests_per_client` blocking round
+//    trips over TCP, each request routed round-robin across the 4 registry
+//    models. Reports per-model p50/p99 round-trip latency plus aggregate
+//    requests/s. Every reply is checked bit-identical against a direct
+//    runtime::Session on the same model; any mismatch fails the run.
+//  * single — the PR-4 baseline for context: the same offered load on a
+//    single-model server over the in-process socketpair transport (no
+//    network hops, no routing). The ratio quantifies what the TCP transport
+//    and multi-model routing layer cost end to end.
+//
+// Usage: bench_registry [requests_per_client] [json_path|-]
+//          requests_per_client  per client thread (default 512)
+//          json_path            output JSON, "-" to disable (default BENCH_registry.json)
+//
+// Exit status is non-zero if any served reply mismatches the direct Session
+// reference bits on either path.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/percentile.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantize.hpp"
+#include "numeric/format.hpp"
+#include "runtime/session.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace dp;
+using Clock = std::chrono::steady_clock;
+
+// The paper's Iris topology (Table II: 4-10-3): tiny per-request arithmetic,
+// so the measured numbers are dominated by the serving stack itself — the
+// regime the registry/TCP layer has to stand up in.
+const char* kNetName = "4-10-3";
+nn::Mlp bench_net() { return nn::Mlp({4, 10, 3}, /*seed=*/7); }
+
+std::vector<double> random_rows(std::size_t rows, std::size_t dim, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<double> xs(rows * dim);
+  for (double& v : xs) v = u(rng);
+  return xs;
+}
+
+struct ModelSpec {
+  std::string name;
+  num::Format format;
+};
+
+struct LatencyResult {
+  std::string label;
+  double p50_us = 0, p99_us = 0, mean_us = 0;
+};
+
+struct RunResult {
+  double requests_per_s = 0;
+  std::uint64_t requests = 0;
+  bool bit_identical = true;
+  std::vector<LatencyResult> per_model;  // one entry on the single-model path
+};
+
+/// Per-(model, row) reference bits from direct Sessions — everything either
+/// serving path returns must match these exactly.
+std::vector<std::vector<std::vector<std::uint32_t>>> references(
+    const std::vector<std::shared_ptr<const runtime::Model>>& models,
+    const std::vector<double>& xs, std::size_t rows) {
+  std::vector<std::vector<std::vector<std::uint32_t>>> refs(models.size());
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    runtime::Session session(models[m]);
+    const std::size_t dim = models[m]->input_dim();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto bits = session.forward_bits(std::span(xs).subspan(r * dim, dim));
+      refs[m].emplace_back(bits.begin(), bits.end());
+    }
+  }
+  return refs;
+}
+
+/// One client thread's work: blocking round trips, one model per request in
+/// round-robin, latencies appended per model index.
+void client_main(std::vector<serve::Client>& clients, std::size_t per_client,
+                 const std::vector<std::shared_ptr<const runtime::Model>>& models,
+                 const std::vector<std::vector<std::vector<std::uint32_t>>>& refs,
+                 const std::vector<double>& xs, std::size_t rows,
+                 std::vector<std::vector<double>>& out_us, std::atomic<bool>& ok) {
+  const std::size_t fan = clients.size();
+  for (std::size_t r = 0; r < per_client; ++r) {
+    const std::size_t m = r % fan;
+    const std::size_t dim = models[m]->input_dim();
+    // Decorrelated from the model index (fan divides rows, so `r % rows`
+    // would pin each model to one residue class of the reference rows).
+    const std::size_t row = (r / fan) % rows;
+    const auto t0 = Clock::now();
+    const serve::Reply reply =
+        clients[m].forward_bits(std::span(xs).subspan(row * dim, dim));
+    const std::chrono::duration<double, std::micro> dt = Clock::now() - t0;
+    out_us[m].push_back(dt.count());
+    if (reply.status != serve::Status::kOk || reply.bits != refs[m][row]) {
+      ok.store(false);
+    }
+  }
+}
+
+RunResult run_clients(const std::vector<std::shared_ptr<const runtime::Model>>& models,
+                      const std::vector<std::string>& labels,
+                      const std::function<serve::Client(std::size_t)>& make_client,
+                      std::size_t clients, std::size_t per_client,
+                      const std::vector<std::vector<std::vector<std::uint32_t>>>& refs,
+                      const std::vector<double>& xs, std::size_t rows) {
+  std::atomic<bool> ok{true};
+  std::vector<std::vector<std::vector<double>>> us(clients);  // [thread][model]
+  std::vector<std::thread> threads;
+  std::vector<std::vector<serve::Client>> conns(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    for (std::size_t m = 0; m < models.size(); ++m) conns[c].push_back(make_client(m));
+    us[c].resize(models.size());
+  }
+  const auto t0 = Clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      client_main(conns[c], per_client, models, refs, xs, rows, us[c], ok);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::chrono::duration<double> wall = Clock::now() - t0;
+
+  RunResult res;
+  res.requests = clients * per_client;
+  res.requests_per_s = static_cast<double>(res.requests) / wall.count();
+  res.bit_identical = ok.load();
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    std::vector<double> merged;
+    double total = 0;
+    for (std::size_t c = 0; c < clients; ++c) {
+      merged.insert(merged.end(), us[c][m].begin(), us[c][m].end());
+    }
+    for (const double v : merged) total += v;
+    std::sort(merged.begin(), merged.end());
+    LatencyResult lat;
+    lat.label = labels[m];
+    lat.p50_us = core::percentile(merged, 50);
+    lat.p99_us = core::percentile(merged, 99);
+    lat.mean_us = merged.empty() ? 0 : total / static_cast<double>(merged.size());
+    res.per_model.push_back(lat);
+  }
+  return res;
+}
+
+void write_json(const std::string& path, std::size_t clients, std::size_t per_client,
+                const std::vector<ModelSpec>& specs, const RunResult& registry,
+                const RunResult& single) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_registry\",\n");
+  std::fprintf(f, "  \"net\": \"%s\",\n", kNetName);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"clients\": %zu,\n", clients);
+  std::fprintf(f, "  \"requests_per_client\": %zu,\n", per_client);
+  std::fprintf(f, "  \"registry\": {\n");
+  std::fprintf(f, "    \"transport\": \"tcp\",\n");
+  std::fprintf(f, "    \"models\": [\n");
+  for (std::size_t m = 0; m < specs.size(); ++m) {
+    const LatencyResult& lat = registry.per_model[m];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"format\": \"%s\", \"round_trip_p50_us\": %.2f, "
+                 "\"round_trip_p99_us\": %.2f, \"round_trip_mean_us\": %.2f}%s\n",
+                 specs[m].name.c_str(), specs[m].format.name().c_str(), lat.p50_us,
+                 lat.p99_us, lat.mean_us, m + 1 == specs.size() ? "" : ",");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"requests\": %llu,\n",
+               static_cast<unsigned long long>(registry.requests));
+  std::fprintf(f, "    \"requests_per_s\": %.1f,\n", registry.requests_per_s);
+  std::fprintf(f, "    \"bit_identical\": %s\n", registry.bit_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"single\": {\n");
+  std::fprintf(f, "    \"transport\": \"socketpair\",\n");
+  std::fprintf(f, "    \"format\": \"%s\",\n", specs[0].format.name().c_str());
+  std::fprintf(f, "    \"requests\": %llu,\n",
+               static_cast<unsigned long long>(single.requests));
+  std::fprintf(f, "    \"requests_per_s\": %.1f,\n", single.requests_per_s);
+  std::fprintf(f, "    \"round_trip_p50_us\": %.2f,\n", single.per_model[0].p50_us);
+  std::fprintf(f, "    \"round_trip_p99_us\": %.2f,\n", single.per_model[0].p99_us);
+  std::fprintf(f, "    \"bit_identical\": %s\n", single.bit_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"tcp_registry_vs_single_socketpair\": %.3f\n",
+               single.requests_per_s > 0 ? registry.requests_per_s / single.requests_per_s
+                                         : 0.0);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long long per_client_arg = argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 512;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_registry.json";
+  if (per_client_arg <= 0 || per_client_arg > 10'000'000) {
+    std::fprintf(stderr, "usage: bench_registry [requests_per_client 1..10000000] [json|-]\n");
+    return 2;
+  }
+  const std::size_t per_client = static_cast<std::size_t>(per_client_arg);
+  const std::size_t clients = 4;
+
+  // The paper's 8-bit format spread over one trained Iris net: the exact
+  // multi-scenario comparison (posit vs float vs fixed, es variants) the
+  // registry exists to serve side by side.
+  const nn::Mlp net = bench_net();
+  const std::vector<ModelSpec> specs = {
+      {"iris-posit8-es0", num::Format{num::PositFormat{8, 0}}},
+      {"iris-posit8-es1", num::Format{num::PositFormat{8, 1}}},
+      {"iris-float8-we4", num::Format{num::FloatFormat{4, 3}}},
+      {"iris-fixed8-q7", num::Format{num::FixedFormat{8, 7}}},
+  };
+  std::vector<std::shared_ptr<const runtime::Model>> models;
+  std::vector<std::string> labels;
+  for (const ModelSpec& spec : specs) {
+    models.push_back(runtime::Model::create(nn::quantize(net, spec.format)));
+    labels.push_back(spec.name);
+  }
+  const std::size_t dim = models[0]->input_dim();
+  const std::size_t rows = 64;
+  const std::vector<double> xs = random_rows(rows, dim, 2026);
+  const auto refs = references(models, xs, rows);
+
+  std::printf("bench_registry: net %s, %zu models, %zu clients x %zu requests\n\n",
+              kNetName, models.size(), clients, per_client);
+
+  // --- registry over TCP ----------------------------------------------------
+  serve::ModelRegistry registry;
+  serve::BatcherOptions bopts;
+  bopts.max_batch = 16;
+  bopts.max_wait = std::chrono::microseconds(100);
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    registry.load(specs[m].name, models[m], bopts);
+  }
+  serve::ServerOptions sopts;
+  sopts.tcp_port = 0;
+  serve::Server tcp_server(registry, sopts);
+  const std::uint16_t port = tcp_server.tcp_port();
+  const RunResult reg = run_clients(
+      models, labels,
+      [&](std::size_t m) { return serve::connect_tcp(port, models[m], specs[m].name); },
+      clients, per_client, refs, xs, rows);
+
+  std::printf("  %-18s  %10s  %10s  %10s\n", "model (over TCP)", "p50 us", "p99 us",
+              "mean us");
+  for (const LatencyResult& lat : reg.per_model) {
+    std::printf("  %-18s  %10.2f  %10.2f  %10.2f\n", lat.label.c_str(), lat.p50_us,
+                lat.p99_us, lat.mean_us);
+  }
+  std::printf("  aggregate: %.1f requests/s across %zu models, bit-identical: %s\n\n",
+              reg.requests_per_s, models.size(), reg.bit_identical ? "yes" : "NO <-- BUG");
+  tcp_server.stop();
+
+  // --- single-model socketpair baseline ------------------------------------
+  serve::ServerOptions base_opts;
+  base_opts.batcher = bopts;
+  serve::Server base_server(models[0], base_opts);
+  const std::vector<std::shared_ptr<const runtime::Model>> one_model = {models[0]};
+  const std::vector<std::vector<std::vector<std::uint32_t>>> one_ref = {refs[0]};
+  const RunResult single = run_clients(
+      one_model, {specs[0].name}, [&](std::size_t) { return base_server.connect(); },
+      clients, per_client, one_ref, xs, rows);
+  std::printf("  single-model socketpair baseline (%s): %.1f requests/s, "
+              "p50 %.2f us, p99 %.2f us, bit-identical: %s\n",
+              specs[0].format.name().c_str(), single.requests_per_s,
+              single.per_model[0].p50_us, single.per_model[0].p99_us,
+              single.bit_identical ? "yes" : "NO <-- BUG");
+  std::printf("  tcp+registry / socketpair+single throughput: %.2fx\n",
+              single.requests_per_s > 0 ? reg.requests_per_s / single.requests_per_s : 0.0);
+
+  if (json_path != "-") write_json(json_path, clients, per_client, specs, reg, single);
+
+  return reg.bit_identical && single.bit_identical ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md + docs/ (stdlib only).
+
+Every docs pass so far has fixed cross-reference rot by hand; this script
+makes CI catch it instead. It walks the repo's markdown set and verifies
+every relative link:
+
+  * the target file (or directory) exists, and
+  * if the link carries a #fragment into a markdown file, a heading with
+    that GitHub-style anchor slug exists there (same-file '#...' links too).
+
+External links (http/https/mailto) are deliberately NOT fetched — CI must
+stay hermetic — and bare URLs outside []() syntax are ignored.
+
+Usage: python3 scripts/check_links.py [repo_root]
+Exit status: 0 = all links resolve, 1 = broken links (listed on stderr).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) — target taken up to the matching ')'
+# (no nested parens in our docs). Reference-style links are not used here.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading: strip markup, lowercase,
+    drop everything but word chars/spaces/hyphens, spaces -> hyphens."""
+    text = heading.strip()
+    text = re.sub(r"`([^`]*)`", r"\1", text)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links: keep text
+    text = re.sub(r"\*", "", text)                    # emphasis markers (GitHub
+                                                      # keeps literal underscores)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    text = text.replace(" ", "-")
+    return text
+
+
+def anchors_of(md_path: Path) -> set:
+    """All heading anchors of one markdown file, with GitHub's -1/-2
+    deduplication for repeated headings."""
+    slugs = {}
+    out = set()
+    in_fence = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def markdown_files(root: Path):
+    yield root / "README.md"
+    yield from sorted((root / "docs").glob("**/*.md"))
+
+
+def iter_links(md_path: Path):
+    in_fence = False
+    for lineno, line in enumerate(md_path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    anchor_cache = {}
+    errors = []
+    checked = 0
+
+    for md in markdown_files(root):
+        if not md.exists():
+            errors.append(f"{md}: file listed for checking does not exist")
+            continue
+        for lineno, target in iter_links(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            if not path_part:
+                dest = md
+            elif path_part.startswith("/"):
+                # GitHub-style repo-absolute link: resolve against the repo
+                # root, never the filesystem root.
+                dest = (root / path_part.lstrip("/")).resolve()
+            else:
+                dest = (md.parent / path_part).resolve()
+            where = f"{md.relative_to(root)}:{lineno}"
+            if not dest.exists():
+                errors.append(f"{where}: broken link '{target}' (no such file)")
+                continue
+            if fragment:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    continue  # anchors into non-markdown targets: not checked
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if fragment.lower() not in anchor_cache[dest]:
+                    errors.append(f"{where}: broken anchor '{target}' "
+                                  f"(no heading slug '{fragment}')")
+
+    if errors:
+        print(f"check_links: {len(errors)} broken link(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"check_links: {checked} relative links OK across "
+          f"{sum(1 for _ in markdown_files(root))} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nn/io.hpp"
+
 namespace dp::runtime {
 
 namespace {
@@ -53,6 +55,10 @@ Model::Model(nn::QuantizedNetwork network, ForwardPath path)
 
 std::shared_ptr<const Model> Model::create(nn::QuantizedNetwork network, ForwardPath path) {
   return std::make_shared<const Model>(std::move(network), path);
+}
+
+std::shared_ptr<const Model> Model::load(const std::string& path, ForwardPath forward) {
+  return create(nn::load_quantized(path), forward);
 }
 
 Scratch Model::make_scratch() const {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "emac/emac.hpp"
@@ -69,6 +70,13 @@ class Model {
   /// ready to hand to any number of Sessions.
   static std::shared_ptr<const Model> create(nn::QuantizedNetwork network,
                                              ForwardPath path = ForwardPath::kFused);
+
+  /// The deployment spelling: reload a "dpnet-quant" file (written by
+  /// nn::save_quantized) straight into a shared Model — quantize offline,
+  /// ship the file, hot-load it into a serve::ModelRegistry
+  /// (docs/deployment.md). Throws std::runtime_error on malformed input.
+  static std::shared_ptr<const Model> load(const std::string& path,
+                                           ForwardPath forward = ForwardPath::kFused);
 
   ForwardPath forward_path() const { return path_; }
   const num::Format& format() const { return net_.format; }

@@ -51,6 +51,54 @@ constexpr std::array<std::uint32_t, 256> make_crc_table() {
 
 constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
 
+/// The validated fixed-header fields every reader needs before it can size
+/// the rest of the frame. Shared by decode / try_extract / read_frame so the
+/// three paths enforce exactly the same rules.
+struct Header {
+  std::uint8_t version = 0;
+  FrameType type = FrameType::kRequest;
+  Status status = Status::kOk;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
+Header parse_header(std::span<const std::uint8_t> b) {
+  if (get_u32(b, 0) != kFrameMagic) throw ProtocolError("serve protocol: bad magic");
+  Header h;
+  h.version = b[4];
+  if (h.version != kProtocolV1 && h.version != kProtocolV2) {
+    throw ProtocolError("serve protocol: unsupported version " + std::to_string(h.version));
+  }
+  const std::uint8_t type = b[5];
+  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+    throw ProtocolError("serve protocol: unknown frame type " + std::to_string(type));
+  }
+  h.type = static_cast<FrameType>(type);
+  h.status = static_cast<Status>(get_u16(b, 6));
+  h.request_id = get_u64(b, 8);
+  h.payload_bytes = get_u32(b, 16);
+  if (h.payload_bytes > kMaxPayloadBytes) {
+    throw ProtocolError("serve protocol: payload length exceeds bound");
+  }
+  if (h.payload_bytes % 4 != 0) {
+    throw ProtocolError("serve protocol: payload length not a multiple of 4");
+  }
+  return h;
+}
+
+/// Offset of the payload, given the version and (v2) name length.
+std::size_t payload_offset(const Header& h, std::size_t name_len) {
+  return h.version == kProtocolV2 ? kHeaderBytes + 1 + name_len : kHeaderBytes;
+}
+
+std::size_t checked_name_len(std::uint8_t len) {
+  if (len > kMaxModelNameBytes) {
+    throw ProtocolError("serve protocol: model name length exceeds bound");
+  }
+  return len;
+}
+
 }  // namespace
 
 const char* to_string(Status s) {
@@ -59,6 +107,7 @@ const char* to_string(Status s) {
     case Status::kQueueFull: return "queue-full";
     case Status::kShutdown: return "shutdown";
     case Status::kBadRequest: return "bad-request";
+    case Status::kNotFound: return "not-found";
   }
   return "unknown";
 }
@@ -70,18 +119,33 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) {
 }
 
 std::vector<std::uint8_t> encode(const Frame& frame) {
+  if (frame.version != kProtocolV1 && frame.version != kProtocolV2) {
+    throw ProtocolError("serve protocol: cannot encode unknown version " +
+                        std::to_string(frame.version));
+  }
+  if (frame.version == kProtocolV1 && !frame.model.empty()) {
+    throw ProtocolError("serve protocol: a v1 frame cannot carry a model name");
+  }
+  if (frame.model.size() > kMaxModelNameBytes) {
+    throw ProtocolError("serve protocol: model name exceeds kMaxModelNameBytes");
+  }
   const std::uint64_t payload_bytes = frame.payload.size() * 4;
   if (payload_bytes > kMaxPayloadBytes) {
     throw ProtocolError("serve protocol: payload exceeds kMaxPayloadBytes");
   }
+  const std::size_t name_block = frame.version == kProtocolV2 ? 1 + frame.model.size() : 0;
   std::vector<std::uint8_t> out;
-  out.reserve(kHeaderBytes + payload_bytes + kTrailerBytes);
+  out.reserve(kHeaderBytes + name_block + payload_bytes + kTrailerBytes);
   put_u32(out, kFrameMagic);
-  out.push_back(kProtocolVersion);
+  out.push_back(frame.version);
   out.push_back(static_cast<std::uint8_t>(frame.type));
   put_u16(out, static_cast<std::uint16_t>(frame.status));
   put_u64(out, frame.request_id);
   put_u32(out, static_cast<std::uint32_t>(payload_bytes));
+  if (frame.version == kProtocolV2) {
+    out.push_back(static_cast<std::uint8_t>(frame.model.size()));
+    out.insert(out.end(), frame.model.begin(), frame.model.end());
+  }
   for (const std::uint32_t p : frame.payload) put_u32(out, p);
   put_u32(out, crc32(out));
   return out;
@@ -91,37 +155,53 @@ Frame decode(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kHeaderBytes + kTrailerBytes) {
     throw ProtocolError("serve protocol: truncated frame (shorter than header + CRC)");
   }
-  if (get_u32(bytes, 0) != kFrameMagic) throw ProtocolError("serve protocol: bad magic");
-  if (bytes[4] != kProtocolVersion) {
-    throw ProtocolError("serve protocol: unsupported version " + std::to_string(bytes[4]));
+  const Header h = parse_header(bytes);
+  std::size_t name_len = 0;
+  if (h.version == kProtocolV2) {
+    if (bytes.size() < kHeaderBytes + 1 + kTrailerBytes) {
+      throw ProtocolError("serve protocol: truncated v2 frame (no name block)");
+    }
+    name_len = checked_name_len(bytes[kHeaderBytes]);
   }
-  const std::uint8_t type = bytes[5];
-  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
-      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
-    throw ProtocolError("serve protocol: unknown frame type " + std::to_string(type));
+  const std::size_t at = payload_offset(h, name_len);
+  if (bytes.size() != at + h.payload_bytes + kTrailerBytes) {
+    throw ProtocolError("serve protocol: frame length disagrees with length fields");
   }
-  const std::uint32_t payload_bytes = get_u32(bytes, 16);
-  if (payload_bytes > kMaxPayloadBytes) {
-    throw ProtocolError("serve protocol: payload length exceeds bound");
-  }
-  if (payload_bytes % 4 != 0) {
-    throw ProtocolError("serve protocol: payload length not a multiple of 4");
-  }
-  if (bytes.size() != kHeaderBytes + payload_bytes + kTrailerBytes) {
-    throw ProtocolError("serve protocol: frame length disagrees with payload length field");
-  }
-  const std::uint32_t want = get_u32(bytes, kHeaderBytes + payload_bytes);
-  const std::uint32_t got = crc32(bytes.first(kHeaderBytes + payload_bytes));
+  const std::uint32_t want = get_u32(bytes, at + h.payload_bytes);
+  const std::uint32_t got = crc32(bytes.first(at + h.payload_bytes));
   if (want != got) throw ProtocolError("serve protocol: CRC mismatch");
 
   Frame frame;
-  frame.type = static_cast<FrameType>(type);
-  frame.status = static_cast<Status>(get_u16(bytes, 6));
-  frame.request_id = get_u64(bytes, 8);
-  frame.payload.resize(payload_bytes / 4);
-  for (std::size_t i = 0; i < frame.payload.size(); ++i) {
-    frame.payload[i] = get_u32(bytes, kHeaderBytes + i * 4);
+  frame.version = h.version;
+  frame.type = h.type;
+  frame.status = h.status;
+  frame.request_id = h.request_id;
+  if (name_len > 0) {
+    frame.model.assign(reinterpret_cast<const char*>(bytes.data()) + kHeaderBytes + 1,
+                       name_len);
   }
+  frame.payload.resize(h.payload_bytes / 4);
+  for (std::size_t i = 0; i < frame.payload.size(); ++i) {
+    frame.payload[i] = get_u32(bytes, at + i * 4);
+  }
+  return frame;
+}
+
+std::optional<Frame> try_extract(std::span<const std::uint8_t> bytes, std::size_t& consumed) {
+  consumed = 0;
+  if (bytes.size() < kHeaderBytes) return std::nullopt;
+  // Validate the header as soon as it is complete: garbage must fail here,
+  // not stall the connection waiting for a length it promised.
+  const Header h = parse_header(bytes);
+  std::size_t name_len = 0;
+  if (h.version == kProtocolV2) {
+    if (bytes.size() < kHeaderBytes + 1) return std::nullopt;
+    name_len = checked_name_len(bytes[kHeaderBytes]);
+  }
+  const std::size_t total = payload_offset(h, name_len) + h.payload_bytes + kTrailerBytes;
+  if (bytes.size() < total) return std::nullopt;
+  Frame frame = decode(bytes.first(total));
+  consumed = total;
   return frame;
 }
 
@@ -131,18 +211,26 @@ void write_frame(FdStream& stream, const Frame& frame) {
 }
 
 std::optional<Frame> read_frame(FdStream& stream) {
-  // Read the fixed header first: it carries the payload length that sizes
-  // the remainder. The length bound is enforced before the allocation.
+  // Read the fixed header first: it carries the version and payload length
+  // that size the remainder. All bounds are enforced before any allocation.
   std::array<std::uint8_t, kHeaderBytes> header;
   if (!stream.read_exact(header.data(), header.size())) return std::nullopt;
-  if (get_u32(header, 0) != kFrameMagic) throw ProtocolError("serve protocol: bad magic");
-  const std::uint32_t payload_bytes = get_u32(header, 16);
-  if (payload_bytes > kMaxPayloadBytes) {
-    throw ProtocolError("serve protocol: payload length exceeds bound");
+  const Header h = parse_header(header);
+  std::vector<std::uint8_t> frame_bytes(header.begin(), header.end());
+  std::size_t name_len = 0;
+  if (h.version == kProtocolV2) {
+    std::uint8_t len_byte = 0;
+    if (!stream.read_exact(&len_byte, 1)) {
+      throw TransportError("serve transport: stream ended mid-frame");
+    }
+    frame_bytes.push_back(len_byte);
+    name_len = checked_name_len(len_byte);
   }
-  std::vector<std::uint8_t> frame_bytes(kHeaderBytes + payload_bytes + kTrailerBytes);
-  std::copy(header.begin(), header.end(), frame_bytes.begin());
-  if (!stream.read_exact(frame_bytes.data() + kHeaderBytes, payload_bytes + kTrailerBytes)) {
+  const std::size_t rest = (h.version == kProtocolV2 ? name_len : 0) + h.payload_bytes +
+                           kTrailerBytes;
+  const std::size_t have = frame_bytes.size();
+  frame_bytes.resize(have + rest);
+  if (!stream.read_exact(frame_bytes.data() + have, rest)) {
     throw TransportError("serve transport: stream ended mid-frame");
   }
   return decode(frame_bytes);

@@ -3,30 +3,47 @@
 // carrying sample payloads as raw network-format bit patterns (posit /
 // minifloat / fixed — whatever the served Model was quantized to).
 //
-// Frame layout (all integers little-endian; full byte table in
-// docs/serving.md):
+// Two frame versions are live (full byte tables in docs/serving.md):
 //
-//   offset  size  field
-//   0       4     magic "DPSV" (bytes 0x44 0x50 0x53 0x56)
-//   4       1     version (kProtocolVersion)
-//   5       1     frame type (1 = request, 2 = response)
-//   6       2     status  (requests send 0; responses carry serve::Status)
-//   8       8     request id (client-chosen, echoed verbatim in the response)
-//   16      4     payload length in BYTES (= 4 * element count, <= kMaxPayloadBytes)
-//   20      N     payload: element count / 4 u32 bit patterns
-//   20+N    4     CRC-32 (IEEE 802.3 reflected, poly 0xEDB88320) over bytes [0, 20+N)
+//   v1 — the original single-model frame:
+//
+//     offset  size  field
+//     0       4     magic "DPSV" (bytes 0x44 0x50 0x53 0x56)
+//     4       1     version = 1 (kProtocolV1)
+//     5       1     frame type (1 = request, 2 = response)
+//     6       2     status  (requests send 0; responses carry serve::Status)
+//     8       8     request id (client-chosen, echoed verbatim in the response)
+//     16      4     payload length N in BYTES (= 4 * element count, <= kMaxPayloadBytes)
+//     20      N     payload: N/4 u32 bit patterns
+//     20+N    4     CRC-32 (IEEE 802.3 reflected, poly 0xEDB88320) over bytes [0, 20+N)
+//
+//   v2 — identical through offset 19, then a model-name routing block is
+//   inserted between the fixed header and the payload:
+//
+//     offset  size  field
+//     0..19         as v1, with version = 2 (kProtocolV2)
+//     20      1     model name length M (0..kMaxModelNameBytes)
+//     21      M     model name (raw bytes, no terminator)
+//     21+M    N     payload
+//     21+M+N  4     CRC-32 over bytes [0, 21+M+N)
+//
+// A v2 request is routed to the registry entry of that name (empty name =
+// the default entry, exactly like a v1 frame); an unknown name gets a
+// kNotFound response. Responses are always v1 frames — the echoed request id
+// is the demux key and needs no name — so a v1-only client never sees a v2
+// byte no matter what the server is doing.
 //
 // A request payload is the input sample, one pattern per feature, already
-// quantized into the model's format (Client::send does this with
+// quantized into the target model's format (Client::send does this with
 // Format::from_double — round-to-nearest-even is idempotent on representable
 // values, which is what makes served outputs bit-identical to a direct
 // runtime::Session call on the same doubles). A response payload is the
 // readout activations. Error responses carry an empty payload.
 //
-// decode() never trusts the peer: magic, version, type, length bound and CRC
-// are all checked before any payload byte is interpreted, and a failure is a
-// ProtocolError naming the first rule violated. A stream cannot resync after
-// a framing error, so the server drops the connection on one.
+// decode() never trusts the peer: magic, version, type, length bounds and
+// CRC are all checked before any payload byte is interpreted, and a failure
+// is a ProtocolError naming the first rule violated. A stream cannot resync
+// after a framing error, so the server drops the connection on one.
 
 #include <cstddef>
 #include <cstdint>
@@ -41,29 +58,37 @@
 
 namespace dp::serve {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolV1 = 1;  ///< single-model frames
+inline constexpr std::uint8_t kProtocolV2 = 2;  ///< + model-name routing block
 inline constexpr std::uint32_t kFrameMagic = 0x56535044u;  // "DPSV" little-endian
 inline constexpr std::size_t kHeaderBytes = 20;
 inline constexpr std::size_t kTrailerBytes = 4;  // the CRC
 /// Admission bound on payload size, enforced before allocation so a
 /// corrupted or hostile length field cannot balloon memory.
 inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+/// Bound on the v2 model-name block (fits the one-byte length field with
+/// room to spare; registry names are short identifiers, not paths).
+inline constexpr std::size_t kMaxModelNameBytes = 64;
 
 enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2 };
 
 /// The bytes arrived but were not a valid frame (bad magic/version/type,
-/// oversize or misaligned length, CRC mismatch).
+/// oversize or misaligned length, oversize name, CRC mismatch).
 class ProtocolError : public std::runtime_error {
  public:
   explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
 };
 
 /// One decoded frame. `payload` holds bit patterns: request = input features
-/// in the model's format, response = readout activations.
+/// in the model's format, response = readout activations. `model` is the v2
+/// routing name; it must be empty on a v1 frame (encode enforces this), and
+/// decode leaves it empty for v1 input.
 struct Frame {
+  std::uint8_t version = kProtocolV1;
   FrameType type = FrameType::kRequest;
   Status status = Status::kOk;
   std::uint64_t request_id = 0;
+  std::string model;
   std::vector<std::uint32_t> payload;
 
   bool operator==(const Frame&) const = default;
@@ -73,20 +98,30 @@ struct Frame {
 /// tests and for anyone implementing the protocol in another language.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
 
-/// Serialize a frame (header + payload + CRC trailer). Throws ProtocolError
-/// if the payload exceeds kMaxPayloadBytes.
+/// Serialize a frame (header [+ name block] + payload + CRC trailer). Throws
+/// ProtocolError if the payload exceeds kMaxPayloadBytes, the name exceeds
+/// kMaxModelNameBytes, a v1 frame carries a name, or the version is unknown.
 std::vector<std::uint8_t> encode(const Frame& frame);
 
 /// Parse one complete frame from `bytes` (which must be exactly one frame).
-/// Throws ProtocolError on any violation of the format.
+/// Accepts both versions; throws ProtocolError on any violation.
 Frame decode(std::span<const std::uint8_t> bytes);
+
+/// Incremental framing for event-loop readers: inspect the front of `bytes`
+/// (a connection's read buffer, possibly holding a partial frame or several
+/// frames). Returns std::nullopt when more bytes are needed to complete the
+/// first frame; otherwise decodes it and sets `consumed` to its size so the
+/// caller can pop it and go again. Throws ProtocolError as decode does —
+/// header fields are validated as soon as they are present, so garbage fails
+/// fast instead of waiting for a length it promised.
+std::optional<Frame> try_extract(std::span<const std::uint8_t> bytes, std::size_t& consumed);
 
 /// Blocking framed write: encode + write_all.
 void write_frame(FdStream& stream, const Frame& frame);
 
-/// Blocking framed read. Returns std::nullopt on clean end-of-stream (peer
-/// closed between frames); throws ProtocolError on malformed bytes and
-/// TransportError if the stream dies mid-frame.
+/// Blocking framed read (either version). Returns std::nullopt on clean
+/// end-of-stream (peer closed between frames); throws ProtocolError on
+/// malformed bytes and TransportError if the stream dies mid-frame.
 std::optional<Frame> read_frame(FdStream& stream);
 
 }  // namespace dp::serve

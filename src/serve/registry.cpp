@@ -1,0 +1,216 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace dp::serve {
+
+bool ModelRegistry::same_signature(const RetiredSignature& a, const RetiredSignature& b) {
+  return a.format == b.format && a.input_dim == b.input_dim && a.output_dim == b.output_dim;
+}
+
+void ModelRegistry::Lease::release() {
+  if (registry_ == nullptr || entry_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(registry_->m_);
+    --entry_->pinned_;
+  }
+  registry_->cv_.notify_all();
+  registry_ = nullptr;
+  entry_.reset();
+}
+
+ModelRegistry::~ModelRegistry() { shutdown_all(); }
+
+std::map<std::string, std::shared_ptr<ModelRegistry::Entry>>::const_iterator
+ModelRegistry::find_locked(const std::string& name) const {
+  if (name.empty()) {
+    return default_.empty() ? entries_.end() : entries_.find(default_);
+  }
+  return entries_.find(name);
+}
+
+void ModelRegistry::wait_unpinned(std::unique_lock<std::mutex>& lk,
+                                  const std::shared_ptr<Entry>& entry) {
+  cv_.wait(lk, [&] { return entry->pinned_ == 0; });
+  lk.unlock();
+}
+
+void ModelRegistry::load(const std::string& name,
+                         std::shared_ptr<const runtime::Model> model, BatcherOptions opts) {
+  if (!model) throw std::invalid_argument("serve::ModelRegistry: null model");
+  if (name.empty() || name.size() > kMaxModelNameBytes) {
+    throw std::invalid_argument(
+        "serve::ModelRegistry: name must be 1..kMaxModelNameBytes bytes");
+  }
+  // Build the new entry (and its dispatcher Sessions) before touching the
+  // map: a throwing BatcherOptions validation must leave the registry as it
+  // was, and the swap window below stays as short as a pointer exchange.
+  auto entry = std::make_shared<Entry>(name, std::move(model), opts);
+  std::shared_ptr<Entry> old;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    if (shutdown_) throw std::runtime_error("serve::ModelRegistry: load() after shutdown");
+    const auto it = entries_.find(name);
+    // A swap (or a reload of a name that once served) is for new *weights*:
+    // clients quantize features with the format they captured at connect
+    // time, so changing a name's format or shape would make them silently
+    // compute wrong answers. Reject here; a new format is a new name
+    // (docs/deployment.md). unload()+load() must not bypass the guard, so
+    // retired names keep their signature for the registry's lifetime.
+    std::optional<RetiredSignature> before;
+    if (it != entries_.end()) {
+      const runtime::Model& m = *it->second->model;
+      before = RetiredSignature{m.format(), m.input_dim(), m.output_dim()};
+    } else if (const auto rit = retired_.find(name); rit != retired_.end()) {
+      before = rit->second;
+    }
+    const runtime::Model& after = *entry->model;
+    const RetiredSignature sig{after.format(), after.input_dim(), after.output_dim()};
+    if (before.has_value() && !same_signature(*before, sig)) {
+      throw std::invalid_argument(
+          "serve::ModelRegistry: reloading '" + name +
+          "' must keep format and dimensions; load a new name instead");
+    }
+    if (it != entries_.end()) {
+      old = std::exchange(it->second, std::move(entry));
+      ++counters_.swaps;
+      // From here no new acquire() can reach `old`; wait out the leases
+      // already taken so their submits land before the drain starts.
+      wait_unpinned(lk, old);
+    } else {
+      retired_.erase(name);  // the name is live again, signature-compatible
+      entries_.emplace(name, std::move(entry));
+      if (default_.empty() && (!default_sig_.has_value() || same_signature(*default_sig_, sig))) {
+        default_ = name;
+        default_sig_ = sig;
+      }
+      ++counters_.loads;
+    }
+  }
+  // Drain outside the lock: every request the old entry accepted is flushed
+  // through its Sessions and answered from the old model before release.
+  if (old) old->batcher.shutdown();
+}
+
+bool ModelRegistry::unload(const std::string& name) {
+  std::shared_ptr<Entry> old;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    // After shutdown_all() the final state is read-only (its contract keeps
+    // model()/stats() reporting); there is nothing left to unload.
+    if (shutdown_) return false;
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    old = it->second;
+    // Keep the departed entry's signature so a later load() of this name is
+    // held to the same format/shape guard as a live swap.
+    const runtime::Model& m = *old->model;
+    retired_.insert_or_assign(name,
+                              RetiredSignature{m.format(), m.input_dim(), m.output_dim()});
+    entries_.erase(it);
+    if (default_ == name) default_.clear();
+    ++counters_.unloads;
+    wait_unpinned(lk, old);
+  }
+  old->batcher.shutdown();
+  return true;
+}
+
+ModelRegistry::Lease ModelRegistry::acquire(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (shutdown_) return Lease();  // entries remain readable, but route nothing
+  const auto it = find_locked(name);
+  if (it == entries_.end()) return Lease();
+  ++it->second->pinned_;
+  return Lease(this, it->second);
+}
+
+std::string ModelRegistry::default_name() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return default_;
+}
+
+void ModelRegistry::set_default(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (shutdown_) {
+    throw std::runtime_error("serve::ModelRegistry: set_default() after shutdown");
+  }
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("serve::ModelRegistry: set_default of unknown name '" +
+                                name + "'");
+  }
+  const runtime::Model& m = *it->second->model;
+  const RetiredSignature sig{m.format(), m.input_dim(), m.output_dim()};
+  if (default_sig_.has_value() && !same_signature(*default_sig_, sig)) {
+    // The default route is what every v1 / empty-name client quantizes
+    // against; repointing it across formats would silently corrupt them,
+    // exactly like an incompatible named swap.
+    throw std::invalid_argument(
+        "serve::ModelRegistry: the default route must keep format and dimensions; "
+        "route clients to '" + name + "' by name instead");
+  }
+  default_ = name;
+  default_sig_ = sig;
+}
+
+bool ModelRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(m_);
+  // Same routing rule as the other read-side accessors: "" = the default.
+  return find_locked(name) != entries_.end();
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::shared_ptr<const runtime::Model> ModelRegistry::model(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = find_locked(name);
+  return it == entries_.end() ? nullptr : it->second->model;
+}
+
+std::optional<BatcherStats> ModelRegistry::stats(const std::string& name) const {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = find_locked(name);
+    if (it == entries_.end()) return std::nullopt;
+    entry = it->second;
+  }
+  // The batcher has its own lock; never call it under ours.
+  return entry->batcher.stats();
+}
+
+ModelRegistry::Counters ModelRegistry::counters() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return counters_;
+}
+
+void ModelRegistry::shutdown_all() {
+  // The entries stay in the map — final batcher counters and models remain
+  // readable after an orderly stop — but acquire() routes nothing from the
+  // moment shutdown_ is set, and the drain below waits out the leases taken
+  // before that.
+  std::vector<std::shared_ptr<Entry>> taken;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    taken.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) taken.push_back(entry);
+    for (const auto& entry : taken) {
+      cv_.wait(lk, [&] { return entry->pinned_ == 0; });
+    }
+  }
+  for (const auto& entry : taken) entry->batcher.shutdown();
+}
+
+}  // namespace dp::serve

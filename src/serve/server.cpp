@@ -1,148 +1,535 @@
 #include "serve/server.hpp"
 
+#include <poll.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <stdexcept>
 #include <utility>
 
 namespace dp::serve {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One read() slice per readiness report; level-triggered poll re-reports
+/// anything left, so a flooding client cannot monopolize an iteration.
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Compact a connection's read buffer once this much parsed prefix
+/// accumulates (otherwise only when it empties).
+constexpr std::size_t kCompactAt = 64 * 1024;
+/// Loop tick while responses are queued but unsendable (socket full) or a
+/// stop is in progress: bounds how stale a write-stall verdict can be.
+constexpr int kTickMs = 20;
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Server
+// Server — construction / lifecycle
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// The single-model constructor's private registry: one entry, "default".
+/// Throws std::invalid_argument on a null model, before any thread starts.
+std::unique_ptr<ModelRegistry> make_default_registry(
+    std::shared_ptr<const runtime::Model> model, const BatcherOptions& opts) {
+  auto registry = std::make_unique<ModelRegistry>();
+  registry->load("default", std::move(model), opts);
+  return registry;
+}
+
+}  // namespace
+
 Server::Server(std::shared_ptr<const runtime::Model> model, ServerOptions opts)
-    : model_(model),
-      batcher_(std::move(model), opts.batcher),
-      write_timeout_(opts.write_timeout) {}
+    : Server(make_default_registry(std::move(model), opts.batcher), nullptr, opts) {}
+
+Server::Server(ModelRegistry& registry, ServerOptions opts)
+    : Server(nullptr, &registry, opts) {}
+
+Server::Server(std::unique_ptr<ModelRegistry> owned, ModelRegistry* external,
+               ServerOptions opts)
+    : registry_(external != nullptr ? external : owned.get()),
+      owned_registry_(std::move(owned)),
+      write_timeout_(opts.write_timeout),
+      max_write_queue_bytes_(opts.max_write_queue_bytes) {
+  if (opts.tcp_port) {
+    tcp_ = std::make_unique<TcpTransport>(*opts.tcp_port);
+    tcp_port_ = tcp_->port();
+  }
+  start_loop();
+}
 
 Server::~Server() { stop(); }
 
-Client Server::connect() {
-  auto [server_end, client_end] = local_stream_pair();
-  if (write_timeout_.count() > 0) server_end.set_send_timeout(write_timeout_);
-  std::lock_guard<std::mutex> lk(m_);
-  if (stopped_) throw std::runtime_error("serve::Server: connect() after stop()");
-  prune_dead_connections_locked();
-  Connection& conn = connections_.emplace_back();
-  conn.stream = std::move(server_end);
-  conn.reader = std::thread([this, &conn] { reader_main(conn); });
-  ++connections_total_;
-  return Client(model_, std::move(client_end));
+void Server::start_loop() {
+  auto [r, w] = local_stream_pair();
+  wake_r_ = std::move(r);
+  wake_w_ = std::move(w);
+  wake_r_.set_nonblocking(true);
+  wake_w_.set_nonblocking(true);
+  loop_ = std::thread([this] { loop_main(); });
 }
 
-void Server::prune_dead_connections_locked() {
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    // Safe to destroy only once the reader returned AND every batcher
-    // callback holding a reference to this Connection has fired (the
-    // decrement is the callback's last touch of it).
-    if (it->reader_done.load() && it->outstanding.load() == 0) {
-      it->reader.join();
-      it = connections_.erase(it);  // FdStream destructor closes the fd
-    } else {
-      ++it;
-    }
-  }
+void Server::wake() {
+  // Inline completions (rejections, routing errors) run on the loop thread
+  // itself, which flushes write queues before it next sleeps — waking it
+  // would only buy a redundant syscall and a spurious poll iteration.
+  if (std::this_thread::get_id() == loop_tid_.load()) return;
+  const char byte = 1;
+  // If the pipe is full the loop has plenty to wake up for already.
+  (void)wake_w_.write_some(&byte, 1);
 }
 
 void Server::stop() {
   {
     std::lock_guard<std::mutex> lk(m_);
-    if (stopped_) return;
+    // Guarded by stop_called_, not stopped_: the loop's poll-failure exit
+    // sets stopped_ on its own, and stop() must still run to completion
+    // then — otherwise ~Server would destroy a joinable thread.
+    if (stop_called_) return;
+    stop_called_ = true;
     stopped_ = true;
   }
-  // Drain first: every already-accepted request gets its response written
-  // while the connections are still open. Readers blocked on a live client
-  // keep running; requests they submit from here on get kShutdown replies.
-  batcher_.shutdown();
-  for (Connection& conn : connections_) conn.stream.shutdown_both();
-  for (Connection& conn : connections_) {
-    if (conn.reader.joinable()) conn.reader.join();
+  // Phase 1 — drain. New requests read from here on get kShutdown; every
+  // request already accepted by a batcher is flushed through its Session and
+  // its response enqueued (ModelRegistry::shutdown_all returns only after
+  // every dispatcher joined, i.e. after every completion callback fired).
+  draining_.store(true);
+  registry_->shutdown_all();
+  // Phase 2 — flush and close. The loop writes out every queue (dropping
+  // clients that stall past write_timeout), closes the connections, exits.
+  stopping_.store(true);
+  wake();
+  if (loop_.joinable()) loop_.join();
+}
+
+std::shared_ptr<const runtime::Model> Server::model() const {
+  std::shared_ptr<const runtime::Model> m = registry_->model("");
+  if (!m) throw std::runtime_error("serve::Server: no default model entry");
+  return m;
+}
+
+Client Server::connect() { return connect(std::string()); }
+
+Client Server::connect(const std::string& model_name) {
+  std::shared_ptr<const runtime::Model> model = registry_->model(model_name);
+  auto [server_end, client_end] = local_stream_pair();
+  {
+    // The stopped_ check and the push are one critical section: a connect
+    // that loses the race against stop() must throw, not strand a pushed
+    // connection nobody will ever accept. (A connect that wins the race but
+    // whose connection the stopping loop refuses gets a clean EOF.)
+    std::lock_guard<std::mutex> lk(m_);
+    if (stopped_) throw std::runtime_error("serve::Server: connect() after stop()");
+    if (!model) {
+      throw std::invalid_argument("serve::Server: connect() to unknown model '" +
+                                  model_name + "'");
+    }
+    local_.push(std::move(server_end));  // wakes the loop; it accepts + registers
   }
+  return Client(std::move(model), std::move(client_end), model_name);
 }
 
 ServerStats Server::stats() const {
   ServerStats s;
-  s.batcher = batcher_.stats();
-  std::lock_guard<std::mutex> lk(m_);
-  s.connections = connections_total_;
-  s.frames_in = frames_in_;
-  s.frames_out = frames_out_;
-  s.bad_frames = bad_frames_;
-  s.bad_requests = bad_requests_;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    s = counters_;
+  }
+  if (const std::optional<BatcherStats> b = registry_->stats("")) s.batcher = *b;
   return s;
 }
 
-void Server::respond(Connection& conn, std::uint64_t id, Status status,
-                     std::span<const std::uint32_t> bits) {
+void Server::bump(std::uint64_t ServerStats::* counter) {
+  std::lock_guard<std::mutex> lk(m_);
+  ++(counters_.*counter);
+}
+
+// ---------------------------------------------------------------------------
+// Server — event loop
+// ---------------------------------------------------------------------------
+
+void Server::accept_from(Transport& transport, std::vector<std::shared_ptr<Conn>>& conns) {
+  for (;;) {
+    FdStream stream = transport.accept();
+    if (!stream.valid()) return;
+    if (stopping_.load()) continue;  // refused: FdStream closes on destruction
+    stream.set_nonblocking(true);
+    auto conn = std::make_shared<Conn>(std::move(stream));
+    conn->last_progress = Clock::now();
+    conns.push_back(std::move(conn));
+    bump(&ServerStats::connections);
+  }
+}
+
+void Server::loop_main() {
+  loop_tid_.store(std::this_thread::get_id());
+  std::vector<std::shared_ptr<Conn>> conns;
+  std::vector<pollfd> pfds;
+  std::vector<std::uint8_t> chunk(kReadChunk);
+
+  // When the loop exits nobody accepts anymore: close the TCP listener so a
+  // late connect() is refused instead of parked in the kernel backlog.
+  struct ListenerGuard {
+    std::unique_ptr<TcpTransport>& tcp;
+    ~ListenerGuard() { tcp.reset(); }
+  } guard{tcp_};
+
+  // While accept(2) is failing on resource exhaustion, the backlog keeps the
+  // listener readable; excluding it from the poll set until this deadline is
+  // what turns a 100%-CPU spin into a periodic retry.
+  Clock::time_point tcp_backoff{};
+
+  for (;;) {
+    const bool stopping = stopping_.load();
+    const auto iter_now = Clock::now();
+
+    // --- build the poll set -----------------------------------------------
+    pfds.clear();
+    pfds.push_back({wake_r_.fd(), POLLIN, 0});
+    pfds.push_back({local_.readiness_fd(), POLLIN, 0});
+    const bool poll_tcp = tcp_ != nullptr && iter_now >= tcp_backoff;
+    if (poll_tcp) pfds.push_back({tcp_->readiness_fd(), POLLIN, 0});
+    const std::size_t base = pfds.size();
+    bool any_wq = false;
+    for (const std::shared_ptr<Conn>& conn : conns) {
+      short events = 0;
+      if (!conn->read_done && !stopping) events |= POLLIN;
+      {
+        std::lock_guard<std::mutex> lk(conn->m);
+        if (!conn->wq.empty()) {
+          events |= POLLOUT;
+          any_wq = true;
+        }
+      }
+      pfds.push_back({conn->stream.fd(), events, 0});
+    }
+
+    int timeout = (stopping || any_wq) ? kTickMs : -1;
+    if (tcp_ != nullptr && !poll_tcp && timeout < 0) timeout = kTickMs;  // resume the listener
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout);
+    if (rc < 0 && errno != EINTR) {
+      // Unrecoverable poll failure (should not happen): die visibly. Marking
+      // the server stopped makes later connect() calls throw instead of
+      // handing out Clients nobody will ever accept, and every live
+      // connection runs the normal drop protocol so late batcher callbacks
+      // discard their responses instead of queueing into orphaned buffers.
+      for (const std::shared_ptr<Conn>& conn : conns) {
+        {
+          std::lock_guard<std::mutex> lk(conn->m);
+          conn->closed = true;
+          conn->wq.clear();
+          conn->wq_bytes = 0;
+          conn->wq_front_off = 0;
+        }
+        conn->stream.shutdown_both();
+        conn->stream.close();
+      }
+      std::lock_guard<std::mutex> lk(m_);
+      counters_.dropped += conns.size();
+      stopped_ = true;
+      draining_.store(true);
+      return;
+    }
+
+    // --- wakeups and new connections --------------------------------------
+    if (pfds[0].revents != 0) {
+      char drain[256];
+      while (wake_r_.read_some(drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (pfds[1].revents != 0) {
+      try {
+        accept_from(local_, conns);
+      } catch (const TransportError&) {
+        // A connection we failed to register is simply lost (its FdStream
+        // closed); the loop itself must survive.
+      }
+    }
+    if (poll_tcp && pfds[2].revents != 0) {
+      try {
+        accept_from(*tcp_, conns);
+      } catch (const TransportError&) {
+        // Out of fds (or similar): park the listener and retry shortly.
+        tcp_backoff = Clock::now() + std::chrono::milliseconds(200);
+      }
+    }
+
+    // --- per-connection readiness (only the conns present in this poll set;
+    // fresh accepts join the next iteration) --------------------------------
+    const std::size_t present = pfds.size() - base;
+    std::size_t out = 0;  // compaction write cursor over conns[0..present)
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < present; ++i) {
+      const std::shared_ptr<Conn>& conn = conns[i];
+      const short revents = pfds[base + i].revents;
+      bool alive = true;
+
+      // Read side. POLLHUP can still have readable bytes queued ahead of the
+      // EOF, so treat it as readable and let read_some report the 0.
+      if (alive && !conn->read_done && !stopping &&
+          (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        try {
+          const ssize_t n = conn->stream.read_some(chunk.data(), chunk.size());
+          if (n == 0) {
+            conn->read_done = true;
+          } else if (n > 0) {
+            conn->rbuf.insert(conn->rbuf.end(), chunk.begin(), chunk.begin() + n);
+            alive = drain_rbuf(conn);  // false = framing error: drop
+            if (!alive) bump(&ServerStats::bad_frames);
+          }
+        } catch (const TransportError&) {
+          alive = false;  // reset under us
+        }
+      }
+
+      // A peer that is fully gone (POLLHUP/POLLERR after we already read its
+      // EOF). If everything was served and flushed this is just a clean
+      // disconnect (e.g. an in-process Client destroyed — AF_UNIX reports
+      // POLLHUP on peer close). Otherwise the remaining work is
+      // undeliverable, and keeping the connection while a batcher callback
+      // is still outstanding would make poll(2) — which reports these
+      // conditions regardless of the events mask — return immediately
+      // forever, spinning the loop: drop it. (outstanding is read before
+      // the queue: callbacks enqueue before they decrement.)
+      if (alive && conn->read_done &&
+          (revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
+        const bool idle = conn->outstanding.load() == 0;
+        bool wq_empty = false;
+        {
+          std::lock_guard<std::mutex> lk(conn->m);
+          wq_empty = conn->wq.empty();
+        }
+        if (idle && wq_empty) {
+          conn->stream.shutdown_both();
+          conn->stream.close();
+          continue;  // clean disconnect, not a drop
+        }
+        alive = false;
+      }
+
+      // Write side.
+      if (alive) alive = flush_writes(conn);
+
+      // Stall / overflow verdicts.
+      if (alive) {
+        bool has_wq = false, overflow = false;
+        {
+          std::lock_guard<std::mutex> lk(conn->m);
+          has_wq = !conn->wq.empty();
+          overflow = conn->overflow;
+        }
+        if (overflow) {
+          alive = false;
+        } else if (!has_wq) {
+          conn->last_progress = now;
+          // Fully served and finished: graceful close once nothing is in
+          // flight. stop() forces the same path for every connection. Order
+          // matters: a completion callback enqueues its response BEFORE
+          // decrementing `outstanding`, so reading outstanding==0 first and
+          // re-checking the queue afterwards can never miss a response that
+          // landed between the two reads (the reverse order could).
+          if ((conn->read_done || stopping) && conn->outstanding.load() == 0) {
+            bool still_empty = false;
+            {
+              std::lock_guard<std::mutex> lk(conn->m);
+              still_empty = conn->wq.empty();
+            }
+            if (still_empty) {
+              conn->stream.shutdown_both();
+              conn->stream.close();
+              continue;  // not kept
+            }
+          }
+        } else {
+          // Stall verdict. write_timeout 0 disables it in steady state, but
+          // stop() must still terminate: a non-reading client would
+          // otherwise pin the drain (and ~Server) forever, so the stopping
+          // phase falls back to a bounded grace period.
+          auto bound = write_timeout_;
+          if (bound.count() == 0 && stopping) bound = std::chrono::milliseconds(5000);
+          if (bound.count() > 0 && now - conn->last_progress > bound) {
+            alive = false;  // peer stopped reading
+          }
+        }
+      }
+
+      if (!alive) {
+        // Drop: discard queued responses, poison future enqueues, close.
+        {
+          std::lock_guard<std::mutex> lk(conn->m);
+          conn->closed = true;
+          conn->wq.clear();
+          conn->wq_bytes = 0;
+          conn->wq_front_off = 0;
+        }
+        conn->stream.shutdown_both();
+        conn->stream.close();
+        bump(&ServerStats::dropped);
+        continue;  // not kept
+      }
+      conns[out++] = conn;
+    }
+    // Keep the fresh accepts appended past `present`.
+    for (std::size_t i = present; i < conns.size(); ++i) conns[out++] = std::move(conns[i]);
+    conns.resize(out);
+
+    if (stopping && conns.empty()) return;
+  }
+}
+
+bool Server::drain_rbuf(const std::shared_ptr<Conn>& conn) {
+  FrameTally tally;
+  bool ok = true;
+  for (;;) {
+    const std::span<const std::uint8_t> avail(conn->rbuf.data() + conn->rbuf_head,
+                                              conn->rbuf.size() - conn->rbuf_head);
+    std::size_t consumed = 0;
+    std::optional<Frame> frame;
+    try {
+      frame = try_extract(avail, consumed);
+    } catch (const ProtocolError&) {
+      ok = false;  // un-resyncable on a byte stream: caller drops the conn
+      break;
+    }
+    if (!frame) break;
+    conn->rbuf_head += consumed;
+    ++tally.frames_in;
+    handle_request(conn, std::move(*frame), tally);
+  }
+  // One stats lock per read chunk, not per frame (a pipelining client can
+  // deliver dozens of frames per chunk).
+  if (tally.frames_in > 0) {
+    std::lock_guard<std::mutex> lk(m_);
+    counters_.frames_in += tally.frames_in;
+    counters_.bad_requests += tally.bad_requests;
+    counters_.not_found += tally.not_found;
+  }
+  if (!ok) return false;
+  if (conn->rbuf_head == conn->rbuf.size()) {
+    conn->rbuf.clear();
+    conn->rbuf_head = 0;
+  } else if (conn->rbuf_head >= kCompactAt) {
+    conn->rbuf.erase(conn->rbuf.begin(),
+                     conn->rbuf.begin() + static_cast<std::ptrdiff_t>(conn->rbuf_head));
+    conn->rbuf_head = 0;
+  }
+  return true;
+}
+
+void Server::handle_request(const std::shared_ptr<Conn>& conn, Frame frame,
+                            FrameTally& tally) {
+  const std::uint64_t id = frame.request_id;
+  if (draining_.load()) {
+    enqueue_response(conn, id, Status::kShutdown, {});
+    return;
+  }
+  if (frame.type != FrameType::kRequest) {
+    ++tally.bad_requests;
+    enqueue_response(conn, id, Status::kBadRequest, {});
+    return;
+  }
+  // Route: v2 by name, v1 (empty name) to the default entry. The lease pins
+  // the entry so a concurrent hot swap waits for this submit to land, then
+  // drains it on the old model — never drops it.
+  ModelRegistry::Lease lease = registry_->acquire(frame.model);
+  if (!lease) {
+    // Re-check draining_: stop() may have emptied the registry between the
+    // check above and this lookup, and that must read as a shutdown, not as
+    // "your model does not exist".
+    if (draining_.load()) {
+      enqueue_response(conn, id, Status::kShutdown, {});
+      return;
+    }
+    ++tally.not_found;
+    enqueue_response(conn, id, Status::kNotFound, {});
+    return;
+  }
+  const std::size_t dim = lease->model->input_dim();
+  if (frame.payload.size() != dim) {
+    ++tally.bad_requests;
+    enqueue_response(conn, id, Status::kBadRequest, {});
+    return;
+  }
+  // The wire carries the sample as format bit patterns; the Session
+  // quantizes its input, and RNE quantization is idempotent on representable
+  // values, so this decode->requantize round trip is exact.
+  const num::Format& fmt = lease->model->format();
+  x_scratch_.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) x_scratch_[i] = fmt.to_double(frame.payload[i]);
+  conn->outstanding.fetch_add(1);
+  lease->batcher.submit(
+      x_scratch_, [this, conn, id](Status status, std::span<const std::uint32_t> bits) {
+        enqueue_response(conn, id, status, bits);
+        conn->outstanding.fetch_sub(1);
+      });
+}
+
+void Server::enqueue_response(const std::shared_ptr<Conn>& conn, std::uint64_t id,
+                              Status status, std::span<const std::uint32_t> bits) {
   Frame frame;
+  frame.version = kProtocolV1;  // responses are always v1 (see protocol.hpp)
   frame.type = FrameType::kResponse;
   frame.status = status;
   frame.request_id = id;
   frame.payload.assign(bits.begin(), bits.end());
-  try {
-    std::lock_guard<std::mutex> wl(conn.write_m);
-    write_frame(conn.stream, frame);
-  } catch (const TransportError&) {
-    // Client gone or not reading (send timeout): drop the connection so
-    // every later write (and its parked reader) fails fast instead of each
-    // burning another timeout.
-    conn.stream.shutdown_both();
-    return;
+  std::vector<std::uint8_t> bytes = encode(frame);
+  {
+    std::lock_guard<std::mutex> lk(conn->m);
+    if (conn->closed) return;  // dropped connection: response discarded
+    conn->wq_bytes += bytes.size();
+    conn->wq.push_back(std::move(bytes));
+    if (conn->wq_bytes > max_write_queue_bytes_) conn->overflow = true;
   }
-  std::lock_guard<std::mutex> lk(m_);
-  ++frames_out_;
+  wake();
 }
 
-void Server::reader_main(Connection& conn) {
-  // On every exit path, mark the reader finished so prune/stop know this
-  // Connection only awaits its in-flight callbacks.
-  struct DoneFlag {
-    std::atomic<bool>& flag;
-    ~DoneFlag() { flag.store(true); }
-  } done{conn.reader_done};
-
-  const std::size_t dim = model_->input_dim();
-  const num::Format& fmt = model_->format();
-  std::vector<double> x(dim);
+bool Server::flush_writes(const std::shared_ptr<Conn>& conn) {
+  // Never hold conn->m across the send(2): dispatcher completion callbacks
+  // enqueue under the same mutex, and inference threads must not queue up
+  // behind socket I/O. Holding a pointer into the front frame without the
+  // lock is safe because only this (loop) thread ever pops or clears the
+  // queue, and deque push_back does not invalidate references to existing
+  // elements.
+  std::size_t completed = 0;
+  bool ok = true;
   for (;;) {
-    std::optional<Frame> frame;
-    try {
-      frame = read_frame(conn.stream);
-    } catch (const ProtocolError&) {
-      // Un-resyncable on a byte stream: count it and drop the connection.
-      {
-        std::lock_guard<std::mutex> lk(m_);
-        ++bad_frames_;
-      }
-      conn.stream.shutdown_both();
-      return;
-    } catch (const TransportError&) {
-      return;  // connection torn down under us (e.g. Server::stop)
-    }
-    if (!frame) return;  // clean EOF: client closed
+    const std::uint8_t* data = nullptr;
+    std::size_t remaining = 0;
     {
-      std::lock_guard<std::mutex> lk(m_);
-      ++frames_in_;
+      std::lock_guard<std::mutex> lk(conn->m);
+      if (conn->wq.empty()) break;
+      const std::vector<std::uint8_t>& front = conn->wq.front();
+      data = front.data() + conn->wq_front_off;
+      remaining = front.size() - conn->wq_front_off;
     }
-    if (frame->type != FrameType::kRequest || frame->payload.size() != dim) {
-      {
-        std::lock_guard<std::mutex> lk(m_);
-        ++bad_requests_;
+    ssize_t n = 0;
+    try {
+      n = conn->stream.write_some(data, remaining);
+    } catch (const TransportError&) {
+      ok = false;  // peer vanished
+      break;
+    }
+    if (n < 0) break;  // socket buffer full; POLLOUT will resume us
+    {
+      std::lock_guard<std::mutex> lk(conn->m);
+      conn->wq_front_off += static_cast<std::size_t>(n);
+      conn->wq_bytes -= static_cast<std::size_t>(n);
+      if (conn->wq_front_off == conn->wq.front().size()) {
+        conn->wq.pop_front();
+        conn->wq_front_off = 0;
+        ++completed;
       }
-      respond(conn, frame->request_id, Status::kBadRequest, {});
-      continue;
     }
-    // The wire carries the sample as format bit patterns; the Session
-    // quantizes its input, and RNE quantization is idempotent on
-    // representable values, so this decode->requantize round trip is exact.
-    for (std::size_t i = 0; i < dim; ++i) x[i] = fmt.to_double(frame->payload[i]);
-    const std::uint64_t id = frame->request_id;
-    conn.outstanding.fetch_add(1);
-    batcher_.submit(x, [this, &conn, id](Status status, std::span<const std::uint32_t> bits) {
-      respond(conn, id, status, bits);
-      conn.outstanding.fetch_sub(1);  // last touch of conn: it may be pruned now
-    });
+    conn->last_progress = Clock::now();
   }
+  if (completed > 0) {
+    std::lock_guard<std::mutex> lk(m_);
+    counters_.frames_out += completed;
+  }
+  return ok;
 }
 
 // ---------------------------------------------------------------------------
@@ -154,8 +541,10 @@ std::uint64_t Client::send(std::span<const double> x) {
     throw std::invalid_argument("serve::Client: sample size != model input_dim");
   }
   Frame frame;
+  frame.version = model_name_.empty() ? kProtocolV1 : kProtocolV2;
   frame.type = FrameType::kRequest;
   frame.request_id = next_id_++;
+  frame.model = model_name_;
   frame.payload.reserve(x.size());
   for (const double v : x) frame.payload.push_back(model_->format().from_double(v));
   write_frame(stream_, frame);
@@ -215,5 +604,16 @@ int Client::predict(std::span<const double> x) {
 }
 
 void Client::close() { stream_.shutdown_write(); }
+
+Client connect_tcp(std::uint16_t port, std::shared_ptr<const runtime::Model> model,
+                   std::string model_name) {
+  if (!model) throw std::invalid_argument("serve::connect_tcp: null model");
+  if (model_name.size() > kMaxModelNameBytes) {
+    // Catch the configuration mistake here, not as a ProtocolError from the
+    // first send().
+    throw std::invalid_argument("serve::connect_tcp: model name exceeds kMaxModelNameBytes");
+  }
+  return Client(std::move(model), tcp_connect(port), std::move(model_name));
+}
 
 }  // namespace dp::serve

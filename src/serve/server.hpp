@@ -1,23 +1,39 @@
 #pragma once
-// serve::Server / serve::Client — the in-process request/response front-end
-// over the wire protocol.
+// serve::Server / serve::Client — the request/response front-end over the
+// wire protocol, driven by a single poll(2) event loop.
 //
-// A Server owns one DynamicBatcher (so every connection's requests coalesce
-// into the same micro-batches) and one reader thread per connection.
-// Server::connect() builds an AF_UNIX socketpair, keeps one end, and returns
-// a Client holding the other — the full stack (framing, CRC, batching,
-// Session inference, response demux) runs over real file descriptors with no
-// network access, which is what lets CI exercise it.
+// One event-loop thread owns every kind of readiness:
 //
-// Request path: the connection reader decodes a frame, validates the feature
-// count (wrong count -> immediate kBadRequest response, the batcher is never
-// touched), converts the bit patterns to doubles, and submits to the
-// batcher. The completion callback encodes the response frame and writes it
-// under the connection's write lock — callbacks fire on dispatcher threads
-// in micro-batch completion order, so responses to one connection may be
-// written out of request order; the echoed request id is what lets the
-// client demux them. A framing error (bad magic/CRC) is unrecoverable on a
-// byte stream, so the server closes that connection and counts it.
+//   * accept — new connections from any registered transport: the in-process
+//     socketpair transport (Server::connect(), zero network, what CI leans
+//     on) and the optional TCP listener (ServerOptions::tcp_port) feed the
+//     same loop through the shared Transport interface;
+//   * read — per-connection read buffers accumulate bytes and frames are
+//     carved off incrementally (try_extract), so a thousand clients cost a
+//     thousand fds, not a thousand blocked reader threads;
+//   * write — responses are encoded on the completing dispatcher thread and
+//     queued onto the connection's bounded write queue; the loop flushes
+//     queues as sockets accept bytes, so a slow reader never blocks a
+//     dispatcher.
+//
+// Request path: the loop decodes a frame, routes it through the
+// ModelRegistry — a v2 frame by its model-name field, a v1 frame (or an
+// empty name) to the default entry; an unknown name gets kNotFound — checks
+// the feature count against that entry's model (mismatch -> kBadRequest
+// without touching the batcher), and submits into the entry's
+// DynamicBatcher while holding a registry lease, which is what lets a
+// concurrent hot swap drain the old model without dropping this request.
+// The completion callback (dispatcher thread) encodes the response and
+// queues it; responses to one connection may complete out of request order
+// and the echoed request id is what lets the client demux them. A framing
+// error (bad magic/CRC) is unrecoverable on a byte stream, so the server
+// drops that connection and counts it.
+//
+// Misbehaving clients are bounded in both directions: a connection whose
+// write queue exceeds max_write_queue_bytes, or whose queue makes no write
+// progress for write_timeout (a peer that stopped reading), is dropped and
+// its remaining responses discarded — one stalled client can never
+// head-of-line-block the loop, a dispatcher, or stop().
 //
 // Client threading contract mirrors runtime::Session: one Client is
 // single-caller state (calls on it must not overlap); open as many Clients
@@ -27,12 +43,14 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <list>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,78 +58,165 @@
 #include "runtime/model.hpp"
 #include "serve/batcher.hpp"
 #include "serve/protocol.hpp"
+#include "serve/registry.hpp"
 #include "serve/transport.hpp"
 
 namespace dp::serve {
 
 struct ServerOptions {
+  /// Batcher of the implicit "default" entry the single-model constructor
+  /// creates. Ignored by the registry constructor (each registry entry
+  /// carries its own BatcherOptions).
   BatcherOptions batcher = {};
-  /// Upper bound on how long one response write may block on a client that
-  /// stopped reading. Past it the client counts as dead: its connection is
-  /// dropped and its remaining responses discarded, so one stalled client
-  /// can never head-of-line-block the dispatcher (or deadlock stop()).
+  /// A connection whose non-empty write queue makes no progress for this
+  /// long counts as dead (the peer stopped reading): it is dropped and its
+  /// remaining responses discarded. 0 disables stall detection (the byte
+  /// bound below still applies).
   std::chrono::milliseconds write_timeout{5000};
+  /// Byte bound on one connection's queued-but-unsent responses; past it the
+  /// connection is dropped. Together with write_timeout this bounds the
+  /// memory a non-reading client can pin.
+  std::size_t max_write_queue_bytes = 4u << 20;
+  /// When set, also listen for real TCP clients on 127.0.0.1:tcp_port
+  /// (0 = ephemeral; read the bound port back with Server::tcp_port()).
+  std::optional<std::uint16_t> tcp_port;
 };
 
-/// BatcherStats plus the wire-level counters of every connection.
+/// Wire- and connection-level counters plus the default entry's batcher
+/// stats (per-entry stats for other models: ModelRegistry::stats()).
 struct ServerStats {
-  BatcherStats batcher;
-  std::uint64_t connections = 0;    ///< total ever accepted
+  BatcherStats batcher;             ///< the default registry entry's batcher
+  std::uint64_t connections = 0;    ///< total ever accepted (both transports)
   std::uint64_t frames_in = 0;      ///< request frames decoded
-  std::uint64_t frames_out = 0;     ///< response frames written
+  std::uint64_t frames_out = 0;     ///< response frames fully written
   std::uint64_t bad_frames = 0;     ///< framing errors (connection dropped)
-  std::uint64_t bad_requests = 0;   ///< well-framed but invalid (wrong dim)
+  std::uint64_t bad_requests = 0;   ///< well-framed but invalid (wrong dim / type)
+  std::uint64_t not_found = 0;      ///< v2 requests naming an unknown model
+  std::uint64_t dropped = 0;        ///< connections dropped (stall / overflow / bad frame)
 };
 
 class Client;
 
 class Server {
  public:
+  /// Single-model convenience: builds a private registry holding `model`
+  /// under the name "default". Throws std::invalid_argument on a null model.
   explicit Server(std::shared_ptr<const runtime::Model> model, ServerOptions opts = {});
+
+  /// Serve an externally owned registry (multi-model; hot load/swap/unload
+  /// through it while serving). The registry must outlive the Server, and
+  /// stop() drains and shuts it down (its entries keep answering until every
+  /// accepted request is flushed).
+  explicit Server(ModelRegistry& registry, ServerOptions opts = {});
+
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  const runtime::Model& model() const { return *model_; }
+  /// The registry requests are routed through (the private one for the
+  /// single-model constructor).
+  ModelRegistry& registry() { return *registry_; }
 
-  /// Open a new in-process connection: spawns the server-side reader thread
-  /// and returns the Client end. Throws std::runtime_error after stop().
+  /// The default entry's model — a shared handle, because a hot swap or
+  /// unload of that entry can release the registry's own reference at any
+  /// time. Throws std::runtime_error if no default entry exists (possible
+  /// only with an externally managed registry).
+  std::shared_ptr<const runtime::Model> model() const;
+
+  /// Bound TCP port; 0 when the server was built without a TCP listener.
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Open a new in-process connection to the default entry. Throws
+  /// std::runtime_error after stop().
   Client connect();
+
+  /// In-process connection whose requests route to `model_name` (v2
+  /// frames). Throws std::invalid_argument if the name resolves to nothing
+  /// right now (the client needs that entry's format to quantize).
+  Client connect(const std::string& model_name);
 
   ServerStats stats() const;
 
-  /// Orderly shutdown: drain the batcher (every accepted request is
-  /// answered), close every connection, join the readers. Idempotent; the
+  /// Orderly shutdown: drain the registry (every accepted request is
+  /// answered from the model that accepted it), flush every write queue,
+  /// close every connection, join the event loop. Idempotent; the
   /// destructor calls it. Clients see end-of-stream afterwards.
   void stop();
 
  private:
-  struct Connection {
+  /// One live connection, shared between the event loop (which owns the fd
+  /// and all read-side state) and dispatcher callbacks (which only append
+  /// to the write queue under `m`).
+  struct Conn {
+    explicit Conn(FdStream s) : stream(std::move(s)) {}
+
     FdStream stream;
-    std::mutex write_m;  // responses come from dispatcher threads, serialized here
-    std::thread reader;
+
+    // Read side — event-loop thread only.
+    std::vector<std::uint8_t> rbuf;
+    std::size_t rbuf_head = 0;  // parsed-prefix offset, compacted periodically
+    bool read_done = false;     // EOF seen (or reads abandoned during stop)
+    std::chrono::steady_clock::time_point last_progress{};  // write-stall clock
+
+    // Write side — guarded by m (loop flushes, dispatcher callbacks append).
+    std::mutex m;
+    std::deque<std::vector<std::uint8_t>> wq;  // whole encoded frames
+    std::size_t wq_front_off = 0;              // bytes of wq.front() already written
+    std::size_t wq_bytes = 0;
+    bool overflow = false;  // wq_bytes exceeded the bound; loop must drop
+    bool closed = false;    // dropped: discard further responses
+
     std::atomic<std::uint64_t> outstanding{0};  // batcher requests not yet responded
-    std::atomic<bool> reader_done{false};
   };
 
-  void reader_main(Connection& conn);
-  /// Drop list entries whose reader has exited and whose last batcher
-  /// callback has fired (closing the fd); called under m_ from connect() so
-  /// connection churn cannot exhaust descriptors.
-  void prune_dead_connections_locked();
-  void respond(Connection& conn, std::uint64_t id, Status status,
-               std::span<const std::uint32_t> bits);
+  /// The common constructor both public ones delegate to: exactly one of
+  /// `owned`/`external` is set.
+  Server(std::unique_ptr<ModelRegistry> owned, ModelRegistry* external, ServerOptions opts);
 
-  std::shared_ptr<const runtime::Model> model_;
-  DynamicBatcher batcher_;
+  void start_loop();
+  void loop_main();
+  void wake();
+  void accept_from(Transport& transport, std::vector<std::shared_ptr<Conn>>& conns);
+  /// Frame counters accumulated across one read chunk, folded into the
+  /// stats under a single lock (never one lock per frame on the loop).
+  struct FrameTally {
+    std::uint64_t frames_in = 0;
+    std::uint64_t bad_requests = 0;
+    std::uint64_t not_found = 0;
+  };
+
+  /// Parse and route every complete frame in conn's read buffer. Returns
+  /// false if the connection must be dropped (framing error).
+  bool drain_rbuf(const std::shared_ptr<Conn>& conn);
+  void handle_request(const std::shared_ptr<Conn>& conn, Frame frame, FrameTally& tally);
+  /// Flush as much queued response data as the socket takes right now.
+  /// Returns false if the connection died mid-write.
+  bool flush_writes(const std::shared_ptr<Conn>& conn);
+  void enqueue_response(const std::shared_ptr<Conn>& conn, std::uint64_t id, Status status,
+                        std::span<const std::uint32_t> bits);
+  void bump(std::uint64_t ServerStats::* counter);
+
+  ModelRegistry* registry_;                          // routing target
+  std::unique_ptr<ModelRegistry> owned_registry_;    // single-model constructor
   const std::chrono::milliseconds write_timeout_;
+  const std::size_t max_write_queue_bytes_;
 
-  mutable std::mutex m_;
-  bool stopped_ = false;
-  std::list<Connection> connections_;  // list: Connection is pinned (thread + mutex)
-  std::uint64_t connections_total_ = 0;
-  std::uint64_t frames_in_ = 0, frames_out_ = 0, bad_frames_ = 0, bad_requests_ = 0;
+  LocalTransport local_;
+  std::unique_ptr<TcpTransport> tcp_;  // loop-owned once started; closed at loop exit
+  std::uint16_t tcp_port_ = 0;
+  FdStream wake_r_, wake_w_;  // self-pipe: response enqueued / stop requested
+
+  std::atomic<bool> draining_{false};  // stop() begun: new requests -> kShutdown
+  std::atomic<bool> stopping_{false};  // loop must flush, close and exit
+  std::thread loop_;
+  std::atomic<std::thread::id> loop_tid_{};  // wake() is a no-op on the loop itself
+  std::vector<double> x_scratch_;  // request decode buffer; loop thread only
+
+  mutable std::mutex m_;    // stats + stop bookkeeping
+  bool stopped_ = false;     // connect() refuses (stop() begun, or the loop died)
+  bool stop_called_ = false; // stop() ran end-to-end (it must always join loop_)
+  ServerStats counters_;     // .batcher unused here (stats() fills it live)
 };
 
 /// The caller's end of one connection. Two usage styles:
@@ -127,8 +232,13 @@ class Client {
 
   const num::Format& format() const { return model_->format(); }
 
-  /// Quantize `x` into the model format (the wire carries raw bit patterns,
-  /// docs/serving.md), frame it, write it. Returns the request id. Throws
+  /// The registry entry this client's requests route to; empty = the
+  /// server's default entry (v1 frames).
+  const std::string& model_name() const { return model_name_; }
+
+  /// Quantize `x` into the target model's format (the wire carries raw bit
+  /// patterns, docs/serving.md), frame it (v1, or v2 when a model name is
+  /// attached), write it. Returns the request id. Throws
   /// std::invalid_argument unless x.size() == the model input_dim.
   std::uint64_t send(std::span<const double> x);
 
@@ -168,14 +278,28 @@ class Client {
 
  private:
   friend class Server;
-  Client(std::shared_ptr<const runtime::Model> model, FdStream stream)
-      : model_(std::move(model)), stream_(std::move(stream)) {}
+  friend Client connect_tcp(std::uint16_t port, std::shared_ptr<const runtime::Model> model,
+                            std::string model_name);
+  Client(std::shared_ptr<const runtime::Model> model, FdStream stream, std::string model_name)
+      : model_(std::move(model)), stream_(std::move(stream)),
+        model_name_(std::move(model_name)) {}
 
   std::shared_ptr<const runtime::Model> model_;
   FdStream stream_;
+  std::string model_name_;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, Reply> buffered_;  // out-of-order responses parked here
   std::set<std::uint64_t> awaiting_;         // sent, not yet received
 };
+
+/// Connect to a Server's TCP listener on this host (ServerOptions::tcp_port;
+/// the port from Server::tcp_port()). `model` must describe the entry the
+/// requests route to — the client quantizes features with its format and
+/// validates dimensions against it (runtime::Model::load() reloads one from
+/// a shipped .dpnet file). An empty `model_name` routes to the server's
+/// default entry over protocol v1; a name routes over v2, and a name the
+/// server doesn't know earns kNotFound replies, not a connect error.
+Client connect_tcp(std::uint16_t port, std::shared_ptr<const runtime::Model> model,
+                   std::string model_name = "");
 
 }  // namespace dp::serve

@@ -17,6 +17,7 @@ enum class Status : std::uint16_t {
   kQueueFull = 1,   ///< rejected at admission: the batcher queue was at capacity
   kShutdown = 2,    ///< rejected: the batcher/server is shutting down
   kBadRequest = 3,  ///< malformed request (e.g. wrong feature count)
+  kNotFound = 4,    ///< v2 routing: no registry entry under the requested model name
 };
 
 const char* to_string(Status s);

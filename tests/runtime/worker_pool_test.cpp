@@ -65,10 +65,14 @@ TEST(WorkerPool, ThreadsPersistAcrossSubmits) {
     for (const auto& [slot, id] : row_ids) ids_per_slot[slot].insert(id);
   }
 
-  // Slot 0 is always the submitting thread; every other slot observed over
-  // the whole sequence of submits maps to exactly one persistent thread.
-  ASSERT_TRUE(ids_per_slot.count(0));
-  EXPECT_EQ(ids_per_slot[0], std::set<std::thread::id>{submitter});
+  // Slot 0, when it appears, is always the submitting thread — whether it
+  // appears at all is scheduling luck: chunks are claimed atomically, and
+  // workers that wake fast enough can drain every chunk before the
+  // submitter's own drain claims one. Every other slot observed over the
+  // whole sequence of submits maps to exactly one persistent thread.
+  if (ids_per_slot.count(0) != 0) {
+    EXPECT_EQ(ids_per_slot[0], std::set<std::thread::id>{submitter});
+  }
   for (const auto& [slot, ids] : ids_per_slot) {
     EXPECT_LT(slot, pool.slots());
     EXPECT_EQ(ids.size(), 1u) << "slot " << slot << " served by more than one thread";

@@ -179,7 +179,10 @@ TEST(ServeBatcher, OverlappingMicroBatchesCompleteOutOfOrderPerRequest) {
   const std::size_t big = 16;
 
   bool observed_out_of_order = false;
-  for (int attempt = 0; attempt < 10 && !observed_out_of_order; ++attempt) {
+  // Whether the lone request overtakes is scheduling luck per attempt (an
+  // oversubscribed host can serialize the two dispatchers); correctness is
+  // asserted on every attempt, the overtake just needs to happen once.
+  for (int attempt = 0; attempt < 30 && !observed_out_of_order; ++attempt) {
     BatcherOptions opts;
     opts.max_batch = big;
     opts.max_wait = 500us;  // the lone request flushes almost immediately

@@ -1,7 +1,10 @@
-// Wire-protocol contract tests: encode/decode round trips, every decode
-// validation rule (magic, version, type, length bound/alignment, CRC), the
-// published CRC-32 test vector, and framed blocking I/O over the in-process
-// socketpair transport (multiple frames, clean EOF, mid-frame death).
+// Wire-protocol contract tests: encode/decode round trips for both frame
+// versions (v1 single-model, v2 with the model-name routing block), every
+// decode validation rule (magic, version, type, length bounds/alignment,
+// name bound, CRC), the published CRC-32 test vector, the incremental
+// try_extract used by the server's event loop, and framed blocking I/O over
+// the in-process socketpair transport (multiple frames, clean EOF, mid-frame
+// death).
 
 #include "serve/protocol.hpp"
 
@@ -23,6 +26,20 @@ Frame sample_request() {
   return f;
 }
 
+Frame sample_v2_request() {
+  Frame f = sample_request();
+  f.version = kProtocolV2;
+  f.model = "iris-posit8";
+  return f;
+}
+
+/// Recompute the trailing CRC after a deliberate header edit, so the test
+/// exercises exactly one validation rule.
+void refresh_crc(std::vector<std::uint8_t>& bytes) {
+  const std::uint32_t c = crc32(std::span(bytes).first(bytes.size() - 4));
+  std::memcpy(bytes.data() + bytes.size() - 4, &c, 4);
+}
+
 TEST(ServeProtocol, EncodeDecodeRoundTripsRequestAndResponse) {
   const Frame req = sample_request();
   EXPECT_EQ(decode(encode(req)), req);
@@ -37,7 +54,8 @@ TEST(ServeProtocol, EncodeDecodeRoundTripsRequestAndResponse) {
 
 TEST(ServeProtocol, FrameLayoutMatchesSpec) {
   // Pin the byte-level layout documented in docs/serving.md: any change here
-  // is a wire-format break and must bump kProtocolVersion.
+  // is a wire-format break and needs a new version constant (that is how
+  // kProtocolV2 was added beside kProtocolV1).
   const Frame req = sample_request();
   const std::vector<std::uint8_t> bytes = encode(req);
   ASSERT_EQ(bytes.size(), kHeaderBytes + req.payload.size() * 4 + kTrailerBytes);
@@ -45,7 +63,7 @@ TEST(ServeProtocol, FrameLayoutMatchesSpec) {
   EXPECT_EQ(bytes[1], 'P');
   EXPECT_EQ(bytes[2], 'S');
   EXPECT_EQ(bytes[3], 'V');
-  EXPECT_EQ(bytes[4], kProtocolVersion);
+  EXPECT_EQ(bytes[4], kProtocolV1);
   EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(FrameType::kRequest));
   EXPECT_EQ(bytes[6], 0);  // status lo
   EXPECT_EQ(bytes[7], 0);  // status hi
@@ -90,16 +108,14 @@ TEST(ServeProtocol, DecodeRejectsBadMagicVersionTypeAndLengths) {
   }
   {  // unsupported version, CRC recomputed so only the version rule fires
     std::vector<std::uint8_t> bad = encode(req);
-    bad[4] = kProtocolVersion + 1;
-    const std::uint32_t c = crc32(std::span(bad).first(bad.size() - 4));
-    std::memcpy(bad.data() + bad.size() - 4, &c, 4);
+    bad[4] = kProtocolV2 + 1;
+    refresh_crc(bad);
     EXPECT_THROW(decode(bad), ProtocolError);
   }
   {  // unknown frame type
     std::vector<std::uint8_t> bad = encode(req);
     bad[5] = 9;
-    const std::uint32_t c = crc32(std::span(bad).first(bad.size() - 4));
-    std::memcpy(bad.data() + bad.size() - 4, &c, 4);
+    refresh_crc(bad);
     EXPECT_THROW(decode(bad), ProtocolError);
   }
   {  // truncated: shorter than header + CRC
@@ -116,6 +132,145 @@ TEST(ServeProtocol, DecodeRejectsBadMagicVersionTypeAndLengths) {
     huge.payload.assign(kMaxPayloadBytes / 4 + 1, 0);
     EXPECT_THROW(encode(huge), ProtocolError);
   }
+}
+
+TEST(ServeProtocol, V2EncodeDecodeRoundTripsModelName) {
+  const Frame req = sample_v2_request();
+  EXPECT_EQ(decode(encode(req)), req);
+
+  // Empty name is legal in v2 (routes to the default entry, like v1).
+  Frame anon = req;
+  anon.model.clear();
+  EXPECT_EQ(decode(encode(anon)), anon);
+
+  // Longest legal name.
+  Frame long_name = req;
+  long_name.model.assign(kMaxModelNameBytes, 'm');
+  EXPECT_EQ(decode(encode(long_name)), long_name);
+}
+
+TEST(ServeProtocol, V2FrameLayoutMatchesSpec) {
+  // Pin the v2 byte-level layout documented in docs/serving.md: identical to
+  // v1 through offset 19, then the name block, then the payload, CRC last.
+  const Frame req = sample_v2_request();
+  const std::vector<std::uint8_t> bytes = encode(req);
+  const std::size_t name_len = req.model.size();
+  ASSERT_EQ(bytes.size(),
+            kHeaderBytes + 1 + name_len + req.payload.size() * 4 + kTrailerBytes);
+  EXPECT_EQ(bytes[0], 'D');
+  EXPECT_EQ(bytes[4], kProtocolV2);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(FrameType::kRequest));
+  EXPECT_EQ(bytes[16], 20);  // payload length counts payload only, not the name
+  EXPECT_EQ(bytes[20], name_len);
+  EXPECT_EQ(bytes[21], 'i');  // "iris-posit8"
+  EXPECT_EQ(bytes[21 + name_len - 1], '8');
+  EXPECT_EQ(bytes[21 + name_len], 0x00);  // first payload pattern
+  EXPECT_EQ(bytes[21 + name_len + 4], 0x7f);
+  // CRC covers everything before it, name block included.
+  const std::uint32_t want = crc32(std::span(bytes).first(bytes.size() - 4));
+  EXPECT_EQ(bytes[bytes.size() - 4], want & 0xff);
+}
+
+TEST(ServeProtocol, EncodeRejectsIllegalVersionNameCombinations) {
+  {  // v1 cannot carry a name
+    Frame bad = sample_request();
+    bad.model = "sneaky";
+    EXPECT_THROW(encode(bad), ProtocolError);
+  }
+  {  // name over the one-byte-length bound
+    Frame bad = sample_v2_request();
+    bad.model.assign(kMaxModelNameBytes + 1, 'x');
+    EXPECT_THROW(encode(bad), ProtocolError);
+  }
+  {  // unknown version
+    Frame bad = sample_request();
+    bad.version = 7;
+    EXPECT_THROW(encode(bad), ProtocolError);
+  }
+}
+
+TEST(ServeProtocol, DecodeRejectsMalformedV2Frames) {
+  const std::vector<std::uint8_t> good = encode(sample_v2_request());
+  {  // truncated to the fixed header: the name block is missing
+    EXPECT_THROW(decode(std::span(good).first(kHeaderBytes + kTrailerBytes)),
+                 ProtocolError);
+  }
+  {  // truncated mid-name: total length disagrees with the length fields
+    EXPECT_THROW(decode(std::span(good).first(good.size() - 3)), ProtocolError);
+  }
+  {  // name length byte beyond kMaxModelNameBytes, rejected before the CRC
+    std::vector<std::uint8_t> bad = good;
+    bad[kHeaderBytes] = kMaxModelNameBytes + 1;
+    refresh_crc(bad);
+    EXPECT_THROW(decode(bad), ProtocolError);
+  }
+  {  // name length byte that disagrees with the actual frame size
+    std::vector<std::uint8_t> bad = good;
+    bad[kHeaderBytes] = 3;
+    refresh_crc(bad);
+    EXPECT_THROW(decode(bad), ProtocolError);
+  }
+  {  // a flipped name byte fails the CRC (the name is covered)
+    std::vector<std::uint8_t> bad = good;
+    bad[kHeaderBytes + 1] ^= 0x20;
+    EXPECT_THROW(decode(bad), ProtocolError);
+  }
+}
+
+TEST(ServeProtocol, TryExtractHandlesPartialAndBackToBackFrames) {
+  const Frame v1 = sample_request();
+  const Frame v2 = sample_v2_request();
+  std::vector<std::uint8_t> wire = encode(v1);
+  const std::vector<std::uint8_t> second = encode(v2);
+  wire.insert(wire.end(), second.begin(), second.end());
+
+  // Byte-at-a-time: nothing extracts until the first frame completes.
+  std::size_t consumed = 0;
+  for (std::size_t have = 0; have < encode(v1).size(); ++have) {
+    EXPECT_EQ(try_extract(std::span(wire).first(have), consumed), std::nullopt)
+        << "at " << have << " bytes";
+  }
+  // The full buffer yields both frames, back to back.
+  std::span<const std::uint8_t> rest(wire);
+  std::optional<Frame> first = try_extract(rest, consumed);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, v1);
+  rest = rest.subspan(consumed);
+  std::optional<Frame> next = try_extract(rest, consumed);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, v2);
+  EXPECT_EQ(consumed, rest.size());
+  EXPECT_EQ(try_extract(rest.subspan(consumed), consumed), std::nullopt);
+}
+
+TEST(ServeProtocol, TryExtractFailsFastOnGarbageWithoutWaitingForLength) {
+  // A bad magic must throw as soon as the header is present — an event-loop
+  // connection must not sit "waiting for more bytes" of a frame that will
+  // never make sense.
+  std::vector<std::uint8_t> garbage(kHeaderBytes, 0xA5);
+  std::size_t consumed = 0;
+  EXPECT_THROW(try_extract(garbage, consumed), ProtocolError);
+
+  // Short garbage is indistinguishable from a partial header: no verdict.
+  EXPECT_EQ(try_extract(std::span(garbage).first(kHeaderBytes - 1), consumed),
+            std::nullopt);
+
+  // A v2 header promising an oversize name fails at the name-length byte.
+  std::vector<std::uint8_t> bad = encode(sample_v2_request());
+  bad[kHeaderBytes] = 0xff;
+  EXPECT_THROW(try_extract(bad, consumed), ProtocolError);
+}
+
+TEST(ServeProtocol, ReadFrameSpeaksBothVersionsOverTheWire) {
+  auto [a, b] = local_stream_pair();
+  const Frame v1 = sample_request();
+  const Frame v2 = sample_v2_request();
+  write_frame(a, v1);
+  write_frame(a, v2);
+  a.shutdown_write();
+  EXPECT_EQ(read_frame(b), v1);
+  EXPECT_EQ(read_frame(b), v2);
+  EXPECT_EQ(read_frame(b), std::nullopt);
 }
 
 TEST(ServeProtocol, FramedIoOverLocalPairDeliversInOrderThenCleanEof) {
