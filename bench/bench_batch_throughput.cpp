@@ -84,6 +84,7 @@ struct Point {
   double inferences_per_s;
   double mmacs_per_s;
   double speedup_vs_1t;
+  double per_core_efficiency;  // speedup_vs_1t / threads: 1.0 = perfect scaling
   bool bit_identical;
 };
 
@@ -110,9 +111,10 @@ void write_throughput_json(const std::string& path, std::size_t rows, int repeat
     std::fprintf(f,
                  "    {\"format\": \"%s\", \"path\": \"%s\", \"threads\": %zu, "
                  "\"inferences_per_s\": %.1f, \"mmacs_per_s\": %.2f, "
-                 "\"speedup_vs_1t\": %.3f, \"bit_identical\": %s}%s\n",
+                 "\"speedup_vs_1t\": %.3f, \"per_core_efficiency\": %.3f, "
+                 "\"bit_identical\": %s}%s\n",
                  p.format.c_str(), p.path, p.threads, p.inferences_per_s, p.mmacs_per_s,
-                 p.speedup_vs_1t, p.bit_identical ? "true" : "false",
+                 p.speedup_vs_1t, p.per_core_efficiency, p.bit_identical ? "true" : "false",
                  i + 1 == points.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -153,18 +155,22 @@ int run_throughput(std::size_t rows, int repeats, const std::string& json_path) 
     for (const auto& [model, path_name] :
          {std::pair{fused, "fused"}, std::pair{step, "step"}}) {
       std::printf("  [%s]\n", path_name);
-      std::printf("  %8s  %14s  %12s  %10s  %s\n", "threads", "inferences/s", "MMAC/s",
-                  "speedup", "bit-identical");
+      std::printf("  %8s  %14s  %12s  %10s  %10s  %s\n", "threads", "inferences/s", "MMAC/s",
+                  "speedup", "per-core", "bit-identical");
       double base = 0;
       for (const std::size_t t : thread_counts) {
-        runtime::Session session(model, {t});
+        runtime::SessionOptions so;
+        so.num_threads = t;
+        runtime::Session session(model, so);
         const bool identical = session.predict(xs) == reference;
         const double secs = best_seconds(session, xs, repeats);
         const double ips = static_cast<double>(rows) / secs;
         if (t == 1) base = ips;
-        std::printf("  %8zu  %14.1f  %12.2f  %9.2fx  %s\n", t, ips, macs / secs / 1e6,
-                    ips / base, identical ? "yes" : "NO <-- BUG");
-        points.push_back({fmt.name(), path_name, t, ips, macs / secs / 1e6, ips / base,
+        const double speedup = ips / base;
+        const double per_core = speedup / static_cast<double>(t);
+        std::printf("  %8zu  %14.1f  %12.2f  %9.2fx  %10.3f  %s\n", t, ips, macs / secs / 1e6,
+                    speedup, per_core, identical ? "yes" : "NO <-- BUG");
+        points.push_back({fmt.name(), path_name, t, ips, macs / secs / 1e6, speedup, per_core,
                           identical});
         if (!identical) return 1;
       }
@@ -236,7 +242,9 @@ int run_latency(int iters, const std::string& json_path) {
   for (const num::Format& fmt : formats) {
     // One Session per format, reused for every batch size and submit: the
     // pool threads are created here, once, and only woken per submit.
-    runtime::Session session(runtime::Model::create(nn::quantize(net, fmt)), {threads});
+    runtime::SessionOptions so;
+    so.num_threads = threads;
+    runtime::Session session(runtime::Model::create(nn::quantize(net, fmt)), so);
     std::printf("%s\n", fmt.name().c_str());
     std::printf("  %8s  %10s  %10s  %10s  %14s\n", "batch", "p50 us", "p99 us", "mean us",
                 "inferences/s");

@@ -1,0 +1,370 @@
+// Open-loop load generator for the sharded serve::Server — the proof bench
+// for the event-loop sharding work. Drives the server over real TCP
+// (SO_REUSEPORT fan-out) with many concurrent client connections, once per
+// shard count in {1, min(4, hardware_concurrency)}, and records the latency
+// distribution and per-core throughput into BENCH_loadgen.json.
+//
+// Open-loop means the arrival process is a SCHEDULE, not a reaction: every
+// client sends at fixed intervals whether or not earlier responses have come
+// back, and each request's latency is measured from its *scheduled* send
+// time. A closed-loop generator (send, wait, send) silently stops offering
+// load exactly when the server stalls, so its tail percentiles measure the
+// generator's politeness, not the server — the coordinated-omission trap.
+// Here a stall keeps the schedule ticking, queues the unsent frames, and
+// every queued microsecond lands in the recorded p99/p99.9.
+//
+// Usage: bench_loadgen [--duration-ms D] [--rate R] [--clients C] [--shards S] [--json PATH]
+//          --duration-ms  measurement window per shard count    (default 2000)
+//          --rate         total offered request rate, req/s     (default 4000)
+//          --clients      concurrent TCP connections            (default 64)
+//          --shards       multi-shard point to compare against 1 shard
+//                         (default min(4, hardware_concurrency))
+//          --json         output path, "-" to disable           (default BENCH_loadgen.json)
+//
+// Exit status is nonzero if any request was lost (scheduled and sent but
+// never answered) or answered with an unexpected error status — the bench is
+// also a correctness check that the server answers EVERYTHING it accepts.
+
+#include <poll.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/percentile.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantize.hpp"
+#include "numeric/format.hpp"
+#include "runtime/model.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+
+namespace {
+
+using namespace dp;
+using Clock = std::chrono::steady_clock;
+
+// Small enough that the box can absorb the offered rate with one shard (the
+// bench compares shard counts, so the 1-shard run must not be pinned at 100%
+// CPU by EMAC work alone); big enough that a request is real inference.
+const char* kNetName = "32-64-64-10";
+nn::Mlp bench_net() { return nn::Mlp({32, 64, 64, 10}, /*seed=*/11); }
+
+struct Config {
+  int duration_ms = 2000;
+  double rate = 4000;     // total offered req/s across all clients
+  int clients = 64;
+  int shards = 0;  // 0 = min(4, hardware_concurrency)
+  std::string json_path = "BENCH_loadgen.json";
+};
+
+/// What one client thread saw. rtt_us holds one sample per ANSWERED request
+/// (whatever the status) measured from the scheduled send instant.
+struct ClientTally {
+  std::vector<double> rtt_us;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;  // kQueueFull / kOverloaded / kShutdown
+  std::uint64_t errors = 0;    // any other non-kOk status (unexpected)
+  std::uint64_t lost = 0;      // sent, never answered
+};
+
+/// One open-loop client: its own nonblocking TCP connection, a fixed-rate
+/// send schedule, and a poll loop that interleaves writes and reads.
+void client_main(std::uint16_t port, const std::vector<std::uint32_t>& payload,
+                 Clock::time_point t0, Clock::time_point end, double interval_s,
+                 double phase_s, ClientTally& tally) {
+  using namespace std::chrono;
+  try {
+    serve::FdStream conn = serve::tcp_connect(port);
+    conn.set_nonblocking(true);
+
+    std::unordered_map<std::uint64_t, Clock::time_point> scheduled;
+    std::vector<std::uint8_t> wbuf, rbuf;
+    std::size_t whead = 0;
+    std::uint64_t next_id = 1;
+    const auto interval = duration_cast<Clock::duration>(duration<double>(interval_s));
+    Clock::time_point next_send = t0 + duration_cast<Clock::duration>(duration<double>(phase_s));
+    const Clock::time_point drain_deadline = end + seconds(3);
+
+    serve::Frame req;
+    req.type = serve::FrameType::kRequest;
+    req.payload = payload;
+
+    for (;;) {
+      const Clock::time_point now = Clock::now();
+
+      // The open-loop heart: emit every send whose scheduled instant has
+      // passed, no matter how many responses are still outstanding. The
+      // latency clock of each request starts at its SCHEDULED time, so time
+      // spent queued behind a slow socket is measured, not forgiven.
+      while (next_send <= now && next_send < end) {
+        req.request_id = next_id;
+        scheduled.emplace(next_id, next_send);
+        ++next_id;
+        ++tally.sent;
+        const std::vector<std::uint8_t> bytes = serve::encode(req);
+        wbuf.insert(wbuf.end(), bytes.begin(), bytes.end());
+        next_send += interval;
+      }
+
+      const bool done_sending = now >= end || next_send >= end;
+      if (done_sending && scheduled.empty()) break;      // all answered
+      if (now >= drain_deadline) {                       // server went dark
+        tally.lost += scheduled.size();
+        break;
+      }
+
+      pollfd pfd{conn.fd(), POLLIN, 0};
+      if (whead < wbuf.size()) pfd.events |= POLLOUT;
+      Clock::time_point wake = done_sending ? drain_deadline : std::min(next_send, drain_deadline);
+      const auto timeout_ms =
+          duration_cast<milliseconds>(wake - now).count();
+      (void)::poll(&pfd, 1, static_cast<int>(std::clamp<long long>(timeout_ms, 0, 100)));
+
+      if ((pfd.revents & POLLOUT) != 0 && whead < wbuf.size()) {
+        const ssize_t n = conn.write_some(wbuf.data() + whead, wbuf.size() - whead);
+        if (n > 0) whead += static_cast<std::size_t>(n);
+        if (whead == wbuf.size()) {
+          wbuf.clear();
+          whead = 0;
+        }
+      }
+
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char chunk[64 * 1024];
+        const ssize_t n = conn.read_some(chunk, sizeof(chunk));
+        if (n == 0) {  // server closed: whatever is unanswered is lost
+          tally.lost += scheduled.size();
+          break;
+        }
+        if (n > 0) rbuf.insert(rbuf.end(), chunk, chunk + n);
+        std::size_t head = 0;
+        for (;;) {
+          std::size_t consumed = 0;
+          const auto frame = serve::try_extract(
+              std::span<const std::uint8_t>(rbuf.data() + head, rbuf.size() - head), consumed);
+          if (!frame.has_value()) break;
+          head += consumed;
+          const auto it = scheduled.find(frame->request_id);
+          if (it == scheduled.end()) continue;  // duplicate/foreign id: ignore
+          const duration<double, std::micro> rtt = Clock::now() - it->second;
+          tally.rtt_us.push_back(rtt.count());
+          scheduled.erase(it);
+          switch (frame->status) {
+            case serve::Status::kOk: ++tally.ok; break;
+            case serve::Status::kQueueFull:
+            case serve::Status::kOverloaded:
+            case serve::Status::kShutdown: ++tally.rejected; break;
+            default: ++tally.errors; break;
+          }
+        }
+        rbuf.erase(rbuf.begin(), rbuf.begin() + static_cast<std::ptrdiff_t>(head));
+      }
+    }
+  } catch (const std::exception& e) {
+    // Connection-level failure: everything this client still had in flight
+    // is lost, and that shows up in the exit status.
+    std::fprintf(stderr, "client error: %s\n", e.what());
+    tally.lost += 1;
+  }
+}
+
+struct RunResult {
+  std::size_t shards = 0;
+  double offered_rps = 0;
+  double achieved_rps = 0;   // kOk responses per second of the send window
+  std::uint64_t completed_ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t lost = 0;
+  double rtt_p50_us = 0;
+  double rtt_p99_us = 0;
+  double rtt_p999_us = 0;
+  double queue_wait_p50_us = 0;
+  double queue_wait_p99_us = 0;
+  double queue_wait_p999_us = 0;
+  double per_core_rps = 0;       // achieved_rps / shards
+  double per_core_efficiency = 0;  // per_core_rps / the 1-shard per_core_rps
+};
+
+RunResult run_one(std::size_t shards, const Config& cfg) {
+  const nn::Mlp net = bench_net();
+  const num::Format fmt{num::PositFormat{8, 0}};
+  const auto model = runtime::Model::create(nn::quantize(net, fmt));
+
+  serve::ServerOptions opts;
+  opts.batcher.max_batch = 16;
+  opts.batcher.max_wait = std::chrono::microseconds(200);
+  opts.batcher.queue_capacity = 4096;
+  opts.tcp_port = 0;
+  opts.shards = shards;
+  serve::Server server(model, opts);
+
+  // One fixed input row, quantized once — request content does not affect
+  // serving throughput, and a constant payload keeps the generator cheap.
+  std::mt19937 rng(2019);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<std::uint32_t> payload;
+  for (std::size_t i = 0; i < net.input_dim(); ++i) payload.push_back(fmt.from_double(u(rng)));
+
+  const double interval_s = static_cast<double>(cfg.clients) / cfg.rate;
+  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point end = t0 + std::chrono::milliseconds(cfg.duration_ms);
+
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(cfg.clients));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < cfg.clients; ++c) {
+    // De-phase the schedules so the aggregate arrival process is smooth at
+    // the target rate instead of `clients`-sized synchronized bursts.
+    const double phase_s = static_cast<double>(c) / cfg.rate;
+    threads.emplace_back(client_main, server.tcp_port(), std::cref(payload), t0, end,
+                         interval_s, phase_s, std::ref(tallies[static_cast<std::size_t>(c)]));
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Scrape the server-side queue-wait distribution BEFORE stop() tears the
+  // batcher lanes down.
+  const serve::ServerStats ss = server.stats();
+  RunResult r;
+  r.queue_wait_p50_us = ss.batcher.wait_p50_us;
+  r.queue_wait_p99_us = ss.batcher.wait_p99_us;
+  r.queue_wait_p999_us = ss.batcher.wait_p999_us;
+  server.stop();
+
+  std::vector<double> rtt;
+  std::uint64_t sent = 0;
+  for (const ClientTally& t : tallies) {
+    rtt.insert(rtt.end(), t.rtt_us.begin(), t.rtt_us.end());
+    sent += t.sent;
+    r.completed_ok += t.ok;
+    r.rejected += t.rejected;
+    r.errors += t.errors;
+    r.lost += t.lost;
+  }
+  std::sort(rtt.begin(), rtt.end());
+  const double window_s = static_cast<double>(cfg.duration_ms) / 1000.0;
+  r.shards = shards;
+  r.offered_rps = static_cast<double>(sent) / window_s;
+  r.achieved_rps = static_cast<double>(r.completed_ok) / window_s;
+  r.rtt_p50_us = core::percentile(rtt, 50);
+  r.rtt_p99_us = core::percentile(rtt, 99);
+  r.rtt_p999_us = core::percentile(rtt, 99.9);
+  r.per_core_rps = r.achieved_rps / static_cast<double>(shards);
+  return r;
+}
+
+void write_json(const Config& cfg, const std::vector<RunResult>& results) {
+  std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", cfg.json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_loadgen\",\n");
+  std::fprintf(f, "  \"net\": \"%s\",\n", kNetName);
+  std::fprintf(f, "  \"format\": \"posit<8,0>\",\n");
+  std::fprintf(f, "  \"open_loop\": true,\n");
+  std::fprintf(f, "  \"duration_ms\": %d,\n", cfg.duration_ms);
+  std::fprintf(f, "  \"target_rate_rps\": %.1f,\n", cfg.rate);
+  std::fprintf(f, "  \"clients\": %d,\n", cfg.clients);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"offered_rps\": %.1f, \"achieved_rps\": %.1f, "
+                 "\"completed_ok\": %llu, \"rejected\": %llu, \"errors\": %llu, "
+                 "\"lost\": %llu, "
+                 "\"rtt_p50_us\": %.2f, \"rtt_p99_us\": %.2f, \"rtt_p999_us\": %.2f, "
+                 "\"queue_wait_p50_us\": %.2f, \"queue_wait_p99_us\": %.2f, "
+                 "\"queue_wait_p999_us\": %.2f, "
+                 "\"per_core_rps\": %.1f, \"per_core_efficiency\": %.3f}%s\n",
+                 r.shards, r.offered_rps, r.achieved_rps,
+                 static_cast<unsigned long long>(r.completed_ok),
+                 static_cast<unsigned long long>(r.rejected),
+                 static_cast<unsigned long long>(r.errors),
+                 static_cast<unsigned long long>(r.lost), r.rtt_p50_us, r.rtt_p99_us,
+                 r.rtt_p999_us, r.queue_wait_p50_us, r.queue_wait_p99_us,
+                 r.queue_wait_p999_us, r.per_core_rps, r.per_core_efficiency,
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", cfg.json_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--duration-ms")) cfg.duration_ms = std::atoi(argv[++i]);
+    else if (flag("--rate")) cfg.rate = std::atof(argv[++i]);
+    else if (flag("--clients")) cfg.clients = std::atoi(argv[++i]);
+    else if (flag("--shards")) cfg.shards = std::atoi(argv[++i]);
+    else if (flag("--json")) cfg.json_path = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_loadgen [--duration-ms D] [--rate R] [--clients C] "
+                   "[--shards S] [--json PATH|-]\n");
+      return 2;
+    }
+  }
+  if (cfg.duration_ms <= 0 || cfg.rate <= 0 || cfg.clients <= 0 || cfg.clients > 4096 ||
+      cfg.shards < 0 || cfg.shards > 256) {
+    std::fprintf(stderr, "bench_loadgen: all of duration, rate, clients must be positive\n");
+    return 2;
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> shard_counts{1};
+  const std::size_t multi = cfg.shards > 0 ? static_cast<std::size_t>(cfg.shards)
+                                           : std::min<std::size_t>(4, hw);
+  if (multi > 1) shard_counts.push_back(multi);
+
+  std::printf("bench_loadgen: open-loop, %d clients, %.0f req/s offered, %d ms window, net %s\n",
+              cfg.clients, cfg.rate, cfg.duration_ms, kNetName);
+  std::printf("hardware_concurrency = %u, shard counts:", hw);
+  for (const std::size_t s : shard_counts) std::printf(" %zu", s);
+  std::printf("\n\n");
+
+  std::vector<RunResult> results;
+  for (const std::size_t s : shard_counts) results.push_back(run_one(s, cfg));
+  // Per-core efficiency is relative to the 1-shard run: 1.0 means adding
+  // shards kept every core as productive as the single-shard core was.
+  const double base = results[0].per_core_rps;
+  for (RunResult& r : results) r.per_core_efficiency = base > 0 ? r.per_core_rps / base : 0;
+
+  std::printf("%7s %12s %13s %9s %9s %6s %12s %12s %13s %13s %12s\n", "shards", "offered/s",
+              "achieved/s", "rejected", "errors", "lost", "rtt p50 us", "rtt p99 us",
+              "rtt p99.9 us", "per-core r/s", "efficiency");
+  bool failed = false;
+  for (const RunResult& r : results) {
+    std::printf("%7zu %12.1f %13.1f %9llu %9llu %6llu %12.2f %12.2f %13.2f %13.1f %11.3f\n",
+                r.shards, r.offered_rps, r.achieved_rps,
+                static_cast<unsigned long long>(r.rejected),
+                static_cast<unsigned long long>(r.errors),
+                static_cast<unsigned long long>(r.lost), r.rtt_p50_us, r.rtt_p99_us,
+                r.rtt_p999_us, r.per_core_rps, r.per_core_efficiency);
+    if (r.lost != 0 || r.errors != 0) failed = true;
+  }
+  if (cfg.json_path != "-") write_json(cfg, results);
+  if (failed) {
+    std::fprintf(stderr, "FAIL: lost or erroneous responses — the server dropped work\n");
+    return 1;
+  }
+  return 0;
+}

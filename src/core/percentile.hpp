@@ -15,8 +15,12 @@ namespace dp::core {
 /// p in (0,100]. Returns 0 on an empty sample.
 inline double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
-  const std::size_t rank =
-      static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  // The 1e-9 slack keeps mathematically-integral ranks exact: 99.9/100*1000
+  // evaluates to 999.0000000000001 in binary, and a bare ceil would round
+  // that to rank 1000 — one rank high every time p/100*n lands on an
+  // integer that p alone cannot represent.
+  const double exact = p / 100.0 * static_cast<double>(sorted.size());
+  const std::size_t rank = static_cast<std::size_t>(std::ceil(exact - 1e-9));
   return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 

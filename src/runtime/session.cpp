@@ -17,9 +17,11 @@ std::shared_ptr<const Model> require_model(std::shared_ptr<const Model> model) {
 }  // namespace
 
 Session::Session(std::shared_ptr<const Model> model, SessionOptions opts)
-    : model_(require_model(std::move(model))), pool_(opts.num_threads) {
-  scratch_.reserve(pool_.slots());
-  for (std::size_t s = 0; s < pool_.slots(); ++s) scratch_.push_back(model_->make_scratch());
+    : model_(require_model(std::move(model))),
+      pool_(opts.pool != nullptr ? std::move(opts.pool)
+                                 : std::make_shared<WorkerPool>(opts.num_threads)) {
+  scratch_.reserve(pool_->slots());
+  for (std::size_t s = 0; s < pool_->slots(); ++s) scratch_.push_back(model_->make_scratch());
   scores_.reserve(model_->output_dim());
 }
 
@@ -61,7 +63,7 @@ void Session::forward_bits_into(BatchView xs, std::span<std::uint32_t> out) {
     throw std::invalid_argument(
         "runtime::Session::forward_bits_into: out.size() != rows * output_dim");
   }
-  pool_.run(xs.rows(), [&](std::size_t row, std::size_t slot) {
+  pool_->run(xs.rows(), [&](std::size_t row, std::size_t slot) {
     model_->forward_into(xs.row(row), scratch_[slot]);
     const std::span<const std::uint32_t> bits = scratch_[slot].activations();
     std::copy(bits.begin(), bits.end(), out.begin() + static_cast<std::ptrdiff_t>(row * width));
@@ -73,7 +75,7 @@ BatchResult<double> Session::forward(BatchView xs) {
   const std::size_t width = model_->output_dim();
   const num::Format& fmt = model_->format();
   BatchResult<double> out{std::vector<double>(xs.rows() * width), width};
-  pool_.run(xs.rows(), [&](std::size_t row, std::size_t slot) {
+  pool_->run(xs.rows(), [&](std::size_t row, std::size_t slot) {
     model_->forward_into(xs.row(row), scratch_[slot]);
     const std::span<const std::uint32_t> bits = scratch_[slot].activations();
     for (std::size_t i = 0; i < width; ++i) out.data[row * width + i] = fmt.to_double(bits[i]);
@@ -84,7 +86,7 @@ BatchResult<double> Session::forward(BatchView xs) {
 std::vector<int> Session::predict(BatchView xs) {
   check_view(xs);
   std::vector<int> out(xs.rows());
-  pool_.run(xs.rows(), [&](std::size_t row, std::size_t slot) {
+  pool_->run(xs.rows(), [&](std::size_t row, std::size_t slot) {
     model_->forward_into(xs.row(row), scratch_[slot]);
     out[row] = model_->readout_argmax(scratch_[slot]);
   });
@@ -98,7 +100,7 @@ double Session::accuracy(BatchView xs, std::span<const int> labels) {
   if (xs.rows() == 0) return 0.0;
   check_view(xs);
   std::vector<unsigned char> correct(xs.rows(), 0);
-  pool_.run(xs.rows(), [&](std::size_t row, std::size_t slot) {
+  pool_->run(xs.rows(), [&](std::size_t row, std::size_t slot) {
     model_->forward_into(xs.row(row), scratch_[slot]);
     correct[row] = model_->readout_argmax(scratch_[slot]) == labels[row] ? 1 : 0;
   });

@@ -32,8 +32,14 @@ struct SessionOptions {
   /// submitting thread (which always participates). 0 picks
   /// std::thread::hardware_concurrency(); 1 spawns no threads and runs
   /// everything on the submitting thread. Single-sample calls never touch
-  /// the pool.
+  /// the pool. Ignored when `pool` is set.
   std::size_t num_threads = 1;
+  /// Share an externally owned pool instead of spawning a private one.
+  /// WorkerPool is multi-client, so any number of Sessions (e.g. every
+  /// dispatcher of every per-shard serve::DynamicBatcher) may point at one
+  /// pool sized to the machine — the Session allocates one Scratch per pool
+  /// slot either way.
+  std::shared_ptr<WorkerPool> pool;
 };
 
 class Session {
@@ -44,7 +50,7 @@ class Session {
   std::shared_ptr<const Model> model_ptr() const { return model_; }
 
   /// Actual pool concurrency (spawned workers + the submitting thread).
-  std::size_t num_threads() const { return pool_.slots(); }
+  std::size_t num_threads() const { return pool_->slots(); }
 
   // --- Single-sample entry points (zero-copy in and out) -------------------
   // `x` is any contiguous double buffer of input_dim() values. The returned
@@ -90,7 +96,7 @@ class Session {
                                   // single-sample calls (slot 0 is the
                                   // submitting thread in both roles)
   std::vector<double> scores_;    // single-sample decoded readout buffer
-  WorkerPool pool_;
+  std::shared_ptr<WorkerPool> pool_;  // private by default; shared via options
 };
 
 }  // namespace dp::runtime

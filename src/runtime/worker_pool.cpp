@@ -35,38 +35,54 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void WorkerPool::drain(const RowFn& fn, std::size_t rows, std::size_t slot) {
-  try {
-    for (;;) {
-      const std::size_t begin = cursor_.fetch_add(kRowsPerChunk, std::memory_order_relaxed);
-      if (begin >= rows) return;
-      const std::size_t end = std::min(rows, begin + kRowsPerChunk);
-      for (std::size_t i = begin; i < end; ++i) fn(i, slot);
-    }
-  } catch (...) {
-    const std::lock_guard<std::mutex> lock(error_m_);
-    if (!error_) error_ = std::current_exception();
-    cursor_.store(rows, std::memory_order_relaxed);  // drain remaining work
+void WorkerPool::unqueue(Job& job) {
+  const auto it = std::find(queue_.begin(), queue_.end(), &job);
+  if (it != queue_.end()) queue_.erase(it);
+}
+
+bool WorkerPool::work_one(std::unique_lock<std::mutex>& lock, Job& job, std::size_t slot) {
+  if (job.next >= job.rows) {
+    unqueue(job);
+    return false;
   }
+  const std::size_t begin = job.next;
+  const std::size_t end = std::min(job.rows, begin + kRowsPerChunk);
+  job.next = end;
+  if (job.next >= job.rows) unqueue(job);  // fully claimed: hide from workers
+
+  lock.unlock();
+  std::exception_ptr err;
+  try {
+    for (std::size_t i = begin; i < end; ++i) (*job.fn)(i, slot);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  lock.lock();
+
+  job.done += end - begin;
+  if (err) {
+    if (!job.error) job.error = err;
+    // Abandon the unclaimed tail: the submitter rethrows as soon as the
+    // chunks already in flight settle, instead of grinding through a batch
+    // whose outcome is already an exception.
+    job.skipped += job.rows - job.next;
+    job.next = job.rows;
+    unqueue(job);
+  }
+  if (job.done + job.skipped >= job.rows) done_cv_.notify_all();
+  return true;
 }
 
 void WorkerPool::worker_main(std::size_t slot) {
-  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(m_);
   for (;;) {
-    const RowFn* fn = nullptr;
-    std::size_t rows = 0;
-    {
-      std::unique_lock<std::mutex> lock(m_);
-      job_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      fn = job_;
-      rows = job_rows_;
-    }
-    drain(*fn, rows, slot);
-    {
-      const std::lock_guard<std::mutex> lock(m_);
-      if (++finished_ == workers_.size()) done_cv_.notify_one();
+    job_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    // Drain the oldest job. The pointer stays valid for as long as we touch
+    // it: completion is only reachable under m_, after our own final
+    // accounting, and we hold the lock continuously between work_one calls.
+    Job& job = *queue_.front();
+    while (work_one(lock, job, slot)) {
     }
   }
 }
@@ -79,25 +95,20 @@ void WorkerPool::run(std::size_t rows, const RowFn& fn) {
     for (std::size_t i = 0; i < rows; ++i) fn(i, 0);
     return;
   }
-  {
-    const std::lock_guard<std::mutex> lock(m_);
-    job_ = &fn;
-    job_rows_ = rows;
-    cursor_.store(0, std::memory_order_relaxed);
-    error_ = nullptr;
-    finished_ = 0;
-    ++generation_;
-  }
+  Job job;
+  job.fn = &fn;
+  job.rows = rows;
+  std::unique_lock<std::mutex> lock(m_);
+  queue_.push_back(&job);
   job_cv_.notify_all();
-  drain(fn, rows, /*slot=*/0);
-  {
-    std::unique_lock<std::mutex> lock(m_);
-    done_cv_.wait(lock, [&] { return finished_ == workers_.size(); });
-    job_ = nullptr;
+  // Participate as slot 0 until the job has nothing left to claim, then wait
+  // out the chunks other slots still have in flight.
+  while (work_one(lock, job, /*slot=*/0)) {
   }
-  if (error_) {
-    std::exception_ptr e = error_;
-    error_ = nullptr;
+  done_cv_.wait(lock, [&] { return job.done + job.skipped >= job.rows; });
+  if (job.error) {
+    std::exception_ptr e = job.error;
+    lock.unlock();
     std::rethrow_exception(e);
   }
 }

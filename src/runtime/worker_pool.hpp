@@ -5,16 +5,26 @@
 // points paid one pool construction per call).
 //
 // Work is a half-open row range [0, rows): workers pull fixed-size chunks off
-// a shared atomic cursor, so uneven per-row cost balances automatically. The
+// a shared cursor, so uneven per-row cost balances automatically. The
 // submitting thread always participates as slot 0; a pool of total size 1
 // therefore spawns no threads at all and runs everything inline. Each row
 // callback receives the slot index of the thread executing it, which is how
 // the Session maps rows onto per-slot Scratch state without any locking.
+//
+// The pool is multi-client: run() may be called from any number of threads
+// concurrently (each call is an independent job; jobs queue FIFO and workers
+// drain them in order, several at once when chunks of an older job run while
+// a newer job starts). This is what lets every dispatcher Session of every
+// per-shard serve::DynamicBatcher share ONE pool sized to the machine
+// instead of over-subscribing cores with a private pool each — the serving
+// stack's compute budget becomes one knob. Slot indices are pool-wide and
+// stable (slot s is always the same OS thread), so per-slot caller state
+// such as Session Scratch stays race-free: two jobs may interleave on one
+// slot, but never concurrently.
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -30,7 +40,7 @@ class WorkerPool {
   using RowFn = std::function<void(std::size_t row, std::size_t slot)>;
 
   /// Rows handed out per cursor pop. Small enough to balance uneven rows,
-  /// large enough that the atomic fetch_add never shows up next to the EMAC
+  /// large enough that the claim lock never shows up next to the EMAC
   /// matvec work. Batches no larger than one chunk skip the pool entirely
   /// and run on the submitting thread.
   static constexpr std::size_t kRowsPerChunk = 8;
@@ -47,31 +57,43 @@ class WorkerPool {
   std::size_t slots() const { return workers_.size() + 1; }
 
   /// Run fn over every row in [0, rows); blocks until all rows are done.
-  /// The first exception thrown by any slot is rethrown here after the
-  /// remaining work drains. Not reentrant: one submit at a time per pool
-  /// (the Session, its only client, is single-threaded by contract).
+  /// The first exception thrown by any slot is rethrown here once the job
+  /// settles (its remaining unclaimed rows are abandoned). Safe to call from
+  /// several threads at once — each call is its own job; the per-slot
+  /// single-thread guarantee above still holds. The submitting thread always
+  /// helps drain its own job as slot 0 while it waits.
   void run(std::size_t rows, const RowFn& fn);
 
  private:
+  /// One in-flight run() call. Lives on the submitter's stack; every field
+  /// is guarded by m_ and the job outlives its last touch because completion
+  /// (done + skipped == rows) can only be reached — and the submitter can
+  /// only return — under that same mutex.
+  struct Job {
+    const RowFn* fn = nullptr;
+    std::size_t rows = 0;
+    std::size_t next = 0;     ///< first unclaimed row
+    std::size_t done = 0;     ///< claimed rows fully processed
+    std::size_t skipped = 0;  ///< rows abandoned by the error path
+    std::exception_ptr error;
+  };
+
   void worker_main(std::size_t slot);
-  /// Chunk-pulling loop shared by the workers and the submitting thread.
-  void drain(const RowFn& fn, std::size_t rows, std::size_t slot);
+  /// With m_ held: claim one chunk of `job`, process it unlocked, re-lock
+  /// and account. Returns false (lock still held, nothing processed) once
+  /// the job has no rows left to claim.
+  bool work_one(std::unique_lock<std::mutex>& lock, Job& job, std::size_t slot);
+  /// Caller holds m_. Jobs leave the queue the moment their last row is
+  /// claimed (or their error path fires), so workers never pick them up.
+  void unqueue(Job& job);
 
   std::vector<std::thread> workers_;
 
   std::mutex m_;
-  std::condition_variable job_cv_;   // workers sleep here between submits
-  std::condition_variable done_cv_;  // the submitter waits here per submit
-  std::uint64_t generation_ = 0;     // bumped once per submit
-  std::size_t finished_ = 0;         // workers done with the current generation
+  std::condition_variable job_cv_;   // workers sleep here between jobs
+  std::condition_variable done_cv_;  // submitters wait here per job
   bool stop_ = false;
-  const RowFn* job_ = nullptr;
-  std::size_t job_rows_ = 0;
-
-  std::atomic<std::size_t> cursor_{0};
-
-  std::mutex error_m_;
-  std::exception_ptr error_;
+  std::deque<Job*> queue_;  // jobs with unclaimed rows, FIFO
 };
 
 }  // namespace dp::runtime

@@ -115,7 +115,13 @@ BatcherStats DynamicBatcher::stats() const {
   std::sort(window.begin(), window.end());
   s.wait_p50_us = core::percentile(window, 50);
   s.wait_p99_us = core::percentile(window, 99);
+  s.wait_p999_us = core::percentile(window, 99.9);
   return s;
+}
+
+void DynamicBatcher::wait_samples(std::vector<double>& out) const {
+  std::lock_guard<std::mutex> lk(m_);
+  out.insert(out.end(), wait_window_.begin(), wait_window_.end());
 }
 
 void DynamicBatcher::dispatcher_main(std::size_t index) {
@@ -124,7 +130,7 @@ void DynamicBatcher::dispatcher_main(std::size_t index) {
   // micro-batches need no locking past the carve. Spreading an index over
   // nothing: every Session is identical; the index only names the thread.
   (void)index;
-  runtime::Session session(model_, {opts_.session_threads});
+  runtime::Session session(model_, {opts_.session_threads, opts_.shared_pool});
   const std::size_t dim = model_->input_dim();
   const std::size_t out_dim = model_->output_dim();
 

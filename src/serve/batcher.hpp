@@ -63,7 +63,13 @@ struct BatcherOptions {
   std::size_t dispatchers = 1;
   /// Worker-pool size of each dispatcher's Session (runtime::SessionOptions
   /// semantics: counts the dispatcher itself; 0 = hardware concurrency).
+  /// Ignored when `shared_pool` is set.
   std::size_t session_threads = 1;
+  /// Share one machine-sized runtime::WorkerPool across every dispatcher
+  /// Session instead of spawning session_threads-sized private pools. The
+  /// sharded Server uses this so N shards x M dispatchers do not oversubscribe
+  /// the box with N*M pools.
+  std::shared_ptr<runtime::WorkerPool> shared_pool;
 };
 
 /// Counters + gauges snapshot; see DynamicBatcher::stats(). Wait percentiles
@@ -79,6 +85,7 @@ struct BatcherStats {
   double mean_occupancy = 0;    ///< completed / batches
   double wait_p50_us = 0;       ///< median queue wait, sliding window
   double wait_p99_us = 0;       ///< tail queue wait, sliding window
+  double wait_p999_us = 0;      ///< extreme-tail queue wait, sliding window
 };
 
 class DynamicBatcher {
@@ -117,6 +124,12 @@ class DynamicBatcher {
   void shutdown();
 
   BatcherStats stats() const;
+
+  /// Append the raw wait-window samples (microseconds, unsorted) to `out`.
+  /// Lets an aggregator (ModelRegistry::stats over per-shard lanes) compute
+  /// percentiles over the union of several batchers' windows instead of
+  /// averaging already-computed percentiles, which would be meaningless.
+  void wait_samples(std::vector<double>& out) const;
 
  private:
   struct Pending {

@@ -71,7 +71,8 @@ Header parse_header(std::span<const std::uint8_t> b) {
   }
   const std::uint8_t type = b[5];
   if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
-      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+      type != static_cast<std::uint8_t>(FrameType::kResponse) &&
+      type != static_cast<std::uint8_t>(FrameType::kMetricsRequest)) {
     throw ProtocolError("serve protocol: unknown frame type " + std::to_string(type));
   }
   h.type = static_cast<FrameType>(type);
@@ -108,6 +109,7 @@ const char* to_string(Status s) {
     case Status::kShutdown: return "shutdown";
     case Status::kBadRequest: return "bad-request";
     case Status::kNotFound: return "not-found";
+    case Status::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

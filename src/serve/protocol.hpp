@@ -70,7 +70,14 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
 /// room to spare; registry names are short identifiers, not paths).
 inline constexpr std::size_t kMaxModelNameBytes = 64;
 
-enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2 };
+/// kMetricsRequest is the reserved observability frame: a v1 request-shaped
+/// frame (type byte 3, status 0, EMPTY payload — the server answers anything
+/// else with kBadRequest) whose response is an ordinary kResponse frame
+/// carrying the plaintext metrics page as little-endian u32-packed bytes,
+/// NUL-padded to a multiple of 4 (Client::metrics() strips the padding). The
+/// 24-byte request layout is pinned byte-for-byte by
+/// tests/serve/protocol_adversarial_test.cpp.
+enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2, kMetricsRequest = 3 };
 
 /// The bytes arrived but were not a valid frame (bad magic/version/type,
 /// oversize or misaligned length, oversize name, CRC mismatch).

@@ -1,11 +1,23 @@
 #include "serve/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
+#include "core/percentile.hpp"
 #include "serve/protocol.hpp"
 
 namespace dp::serve {
+
+namespace {
+
+/// Every drain path must flush EVERY lane: a multi-lane entry with one
+/// undrained lane would strand that lane's accepted requests.
+void drain_lanes(ModelRegistry::Entry& entry) {
+  for (std::size_t i = 0; i < entry.lanes(); ++i) entry.lane(i).shutdown();
+}
+
+}  // namespace
 
 bool ModelRegistry::same_signature(const RetiredSignature& a, const RetiredSignature& b) {
   return a.format == b.format && a.input_dim == b.input_dim && a.output_dim == b.output_dim;
@@ -48,7 +60,7 @@ void ModelRegistry::load(const std::string& name,
   // Build the new entry (and its dispatcher Sessions) before touching the
   // map: a throwing BatcherOptions validation must leave the registry as it
   // was, and the swap window below stays as short as a pointer exchange.
-  auto entry = std::make_shared<Entry>(name, std::move(model), opts);
+  auto entry = std::make_shared<Entry>(name, std::move(model), opts, lanes_);
   std::shared_ptr<Entry> old;
   {
     std::unique_lock<std::mutex> lk(m_);
@@ -92,7 +104,7 @@ void ModelRegistry::load(const std::string& name,
   }
   // Drain outside the lock: every request the old entry accepted is flushed
   // through its Sessions and answered from the old model before release.
-  if (old) old->batcher.shutdown();
+  if (old) drain_lanes(*old);
 }
 
 bool ModelRegistry::unload(const std::string& name) {
@@ -115,7 +127,7 @@ bool ModelRegistry::unload(const std::string& name) {
     ++counters_.unloads;
     wait_unpinned(lk, old);
   }
-  old->batcher.shutdown();
+  drain_lanes(*old);
   return true;
 }
 
@@ -185,8 +197,30 @@ std::optional<BatcherStats> ModelRegistry::stats(const std::string& name) const 
     if (it == entries_.end()) return std::nullopt;
     entry = it->second;
   }
-  // The batcher has its own lock; never call it under ours.
-  return entry->batcher.stats();
+  // The batchers have their own locks; never call them under ours. Counters
+  // sum across lanes; the percentiles are recomputed over the union of the
+  // lanes' wait windows (an average of per-lane percentiles would answer no
+  // meaningful question).
+  BatcherStats total;
+  std::vector<double> window;
+  for (std::size_t i = 0; i < entry->lanes(); ++i) {
+    const BatcherStats lane = entry->lane(i).stats();
+    total.accepted += lane.accepted;
+    total.rejected += lane.rejected;
+    total.completed += lane.completed;
+    total.batches += lane.batches;
+    total.queue_depth += lane.queue_depth;
+    total.in_flight += lane.in_flight;
+    entry->lane(i).wait_samples(window);
+  }
+  total.mean_occupancy = total.batches == 0 ? 0
+                                            : static_cast<double>(total.completed) /
+                                                  static_cast<double>(total.batches);
+  std::sort(window.begin(), window.end());
+  total.wait_p50_us = core::percentile(window, 50);
+  total.wait_p99_us = core::percentile(window, 99);
+  total.wait_p999_us = core::percentile(window, 99.9);
+  return total;
 }
 
 ModelRegistry::Counters ModelRegistry::counters() const {
@@ -210,7 +244,7 @@ void ModelRegistry::shutdown_all() {
       cv_.wait(lk, [&] { return entry->pinned_ == 0; });
     }
   }
-  for (const auto& entry : taken) entry->batcher.shutdown();
+  for (const auto& entry : taken) drain_lanes(*entry);
 }
 
 }  // namespace dp::serve

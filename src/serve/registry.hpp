@@ -54,18 +54,37 @@ namespace dp::serve {
 class ModelRegistry {
  public:
   /// One registry entry as the request path sees it: the model (for
-  /// dimension/format checks) and the batcher to submit into.
+  /// dimension/format checks) and the batcher(s) to submit into. A registry
+  /// constructed with `lanes` > 1 gives every entry that many independent
+  /// admission lanes — identical DynamicBatchers over the one shared model —
+  /// so N server shards can submit without contending on a single admission
+  /// lock. `batcher` is lane 0, kept as a plain member so single-lane callers
+  /// (and the existing tests) read naturally; lane(i) is the general form.
   struct Entry {
     Entry(std::string name, std::shared_ptr<const runtime::Model> model,
-          const BatcherOptions& opts)
-        : name(std::move(name)), model(std::move(model)), batcher(this->model, opts) {}
+          const BatcherOptions& opts, std::size_t lanes = 1)
+        : name(std::move(name)), model(std::move(model)), batcher(this->model, opts) {
+      for (std::size_t i = 1; i < lanes; ++i) {
+        extra_.push_back(std::make_unique<DynamicBatcher>(this->model, opts));
+      }
+    }
 
     const std::string name;
     const std::shared_ptr<const runtime::Model> model;
-    DynamicBatcher batcher;
+    DynamicBatcher batcher;  ///< lane 0
+
+    /// Admission lanes on this entry (>= 1).
+    std::size_t lanes() const { return 1 + extra_.size(); }
+    /// Lane i's batcher; i wraps modulo lanes(), so a shard may index by its
+    /// own number without knowing the registry's lane count.
+    DynamicBatcher& lane(std::size_t i) {
+      const std::size_t k = i % lanes();
+      return k == 0 ? batcher : *extra_[k - 1];
+    }
 
    private:
     friend class ModelRegistry;
+    std::vector<std::unique_ptr<DynamicBatcher>> extra_;  // lanes 1..N-1
     std::size_t pinned_ = 0;  // outstanding leases; guarded by the registry mutex
   };
 
@@ -116,8 +135,13 @@ class ModelRegistry {
     std::uint64_t unloads = 0;  ///< unload() calls that removed one
   };
 
-  ModelRegistry() = default;
+  /// `lanes` is the per-entry admission-lane count applied to every load()
+  /// (0 is clamped to 1). The sharded Server sizes this to its shard count.
+  explicit ModelRegistry(std::size_t lanes = 1) : lanes_(lanes == 0 ? 1 : lanes) {}
   ~ModelRegistry();
+
+  /// Admission lanes every entry is built with.
+  std::size_t lanes() const { return lanes_; }
 
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
@@ -158,7 +182,10 @@ class ModelRegistry {
   std::vector<std::string> names() const;
   /// The model under `name` (empty name = default); nullptr if unknown.
   std::shared_ptr<const runtime::Model> model(const std::string& name) const;
-  /// Batcher stats of one entry; nullopt if unknown (empty name = default).
+  /// Batcher stats of one entry, aggregated across its lanes: counters and
+  /// gauges are summed, and the wait percentiles are recomputed over the
+  /// union of the lanes' sliding windows (percentiles of a union, never an
+  /// average of percentiles). nullopt if unknown (empty name = default).
   std::optional<BatcherStats> stats(const std::string& name) const;
   Counters counters() const;
 
@@ -202,6 +229,7 @@ class ModelRegistry {
   std::string default_;
   bool shutdown_ = false;
   Counters counters_;
+  const std::size_t lanes_ = 1;
 };
 
 }  // namespace dp::serve

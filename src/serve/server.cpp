@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -23,6 +24,37 @@ constexpr std::size_t kCompactAt = 64 * 1024;
 /// stop is in progress: bounds how stale a write-stall verdict can be.
 constexpr int kTickMs = 20;
 
+/// Metrics page bytes -> the u32 payload of its kResponse frame: packed
+/// little-endian, NUL-padded up to the next word (Client::metrics strips
+/// the padding). The packing is part of the wire contract (protocol.hpp).
+std::vector<std::uint32_t> pack_text(const std::string& text) {
+  std::vector<std::uint32_t> out((text.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    out[i / 4] |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(text[i]))
+                  << (8 * (i % 4));
+  }
+  return out;
+}
+
+void append_counter(std::string& out, const char* name, const std::string& labels,
+                    std::uint64_t v) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += std::to_string(v);
+  out += '\n';
+}
+
+void append_gauge(std::string& out, const char* name, const std::string& labels, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += name;
+  out += labels;
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -31,11 +63,25 @@ constexpr int kTickMs = 20;
 
 namespace {
 
-/// The single-model constructor's private registry: one entry, "default".
-/// Throws std::invalid_argument on a null model, before any thread starts.
+std::size_t resolve_shards(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// The single-model constructor's private registry: one entry, "default",
+/// with one admission lane per shard. Several shards each spawn dispatcher
+/// Sessions; unless the caller wired a pool of their own (or asked for
+/// inline single-threaded sessions), point them all at ONE shared
+/// WorkerPool so the thread count stays what session_threads says, not
+/// shards x dispatchers x session_threads. Throws std::invalid_argument on
+/// a null model, before any thread starts.
 std::unique_ptr<ModelRegistry> make_default_registry(
-    std::shared_ptr<const runtime::Model> model, const BatcherOptions& opts) {
-  auto registry = std::make_unique<ModelRegistry>();
+    std::shared_ptr<const runtime::Model> model, BatcherOptions opts, std::size_t lanes) {
+  if (lanes > 1 && opts.shared_pool == nullptr && opts.session_threads != 1) {
+    opts.shared_pool = std::make_shared<runtime::WorkerPool>(opts.session_threads);
+  }
+  auto registry = std::make_unique<ModelRegistry>(lanes);
   registry->load("default", std::move(model), opts);
   return registry;
 }
@@ -43,7 +89,8 @@ std::unique_ptr<ModelRegistry> make_default_registry(
 }  // namespace
 
 Server::Server(std::shared_ptr<const runtime::Model> model, ServerOptions opts)
-    : Server(make_default_registry(std::move(model), opts.batcher), nullptr, opts) {}
+    : Server(make_default_registry(std::move(model), opts.batcher, resolve_shards(opts.shards)),
+             nullptr, opts) {}
 
 Server::Server(ModelRegistry& registry, ServerOptions opts)
     : Server(nullptr, &registry, opts) {}
@@ -53,56 +100,79 @@ Server::Server(std::unique_ptr<ModelRegistry> owned, ModelRegistry* external,
     : registry_(external != nullptr ? external : owned.get()),
       owned_registry_(std::move(owned)),
       write_timeout_(opts.write_timeout),
-      max_write_queue_bytes_(opts.max_write_queue_bytes) {
-  if (opts.tcp_port) {
-    tcp_ = std::make_unique<TcpTransport>(*opts.tcp_port);
-    tcp_port_ = tcp_->port();
+      max_write_queue_bytes_(opts.max_write_queue_bytes),
+      max_connections_per_shard_(opts.max_connections_per_shard),
+      max_inflight_per_connection_(opts.max_inflight_per_connection),
+      start_(Clock::now()) {
+  const std::size_t n = resolve_shards(opts.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->index = i;
+    shards_.push_back(std::move(sh));
   }
-  start_loop();
+  if (opts.tcp_port) {
+    // Shard 0 binds (resolving an ephemeral request); the rest join the
+    // same port via SO_REUSEPORT, so the kernel hashes inbound connections
+    // across the shard listeners with no user-space accept coordination.
+    shards_[0]->tcp = std::make_unique<TcpTransport>(*opts.tcp_port, 128, n > 1);
+    tcp_port_ = shards_[0]->tcp->port();
+    for (std::size_t i = 1; i < n; ++i) {
+      shards_[i]->tcp = std::make_unique<TcpTransport>(tcp_port_, 128, true);
+    }
+  }
+  if (opts.metrics_port) {
+    shards_[0]->metrics = std::make_unique<TcpTransport>(*opts.metrics_port);
+    metrics_port_ = shards_[0]->metrics->port();
+  }
+  for (auto& sh : shards_) start_loop(*sh);
 }
 
 Server::~Server() { stop(); }
 
-void Server::start_loop() {
+void Server::start_loop(Shard& sh) {
   auto [r, w] = local_stream_pair();
-  wake_r_ = std::move(r);
-  wake_w_ = std::move(w);
-  wake_r_.set_nonblocking(true);
-  wake_w_.set_nonblocking(true);
-  loop_ = std::thread([this] { loop_main(); });
+  sh.wake_r = std::move(r);
+  sh.wake_w = std::move(w);
+  sh.wake_r.set_nonblocking(true);
+  sh.wake_w.set_nonblocking(true);
+  sh.loop = std::thread([this, &sh] { loop_main(sh); });
 }
 
-void Server::wake() {
+void Server::wake(Shard& sh) {
   // Inline completions (rejections, routing errors) run on the loop thread
   // itself, which flushes write queues before it next sleeps — waking it
   // would only buy a redundant syscall and a spurious poll iteration.
-  if (std::this_thread::get_id() == loop_tid_.load()) return;
+  if (std::this_thread::get_id() == sh.tid.load()) return;
   const char byte = 1;
   // If the pipe is full the loop has plenty to wake up for already.
-  (void)wake_w_.write_some(&byte, 1);
+  (void)sh.wake_w.write_some(&byte, 1);
 }
 
 void Server::stop() {
   {
     std::lock_guard<std::mutex> lk(m_);
-    // Guarded by stop_called_, not stopped_: the loop's poll-failure exit
+    // Guarded by stop_called_, not stopped_: a shard's poll-failure exit
     // sets stopped_ on its own, and stop() must still run to completion
-    // then — otherwise ~Server would destroy a joinable thread.
+    // then — otherwise ~Server would destroy joinable threads.
     if (stop_called_) return;
     stop_called_ = true;
     stopped_ = true;
   }
   // Phase 1 — drain. New requests read from here on get kShutdown; every
-  // request already accepted by a batcher is flushed through its Session and
-  // its response enqueued (ModelRegistry::shutdown_all returns only after
-  // every dispatcher joined, i.e. after every completion callback fired).
+  // request already accepted by a batcher lane is flushed through its
+  // Session and its response enqueued (ModelRegistry::shutdown_all returns
+  // only after every dispatcher joined, i.e. after every completion
+  // callback fired).
   draining_.store(true);
   registry_->shutdown_all();
-  // Phase 2 — flush and close. The loop writes out every queue (dropping
-  // clients that stall past write_timeout), closes the connections, exits.
+  // Phase 2 — flush and close. Every shard writes out every queue (dropping
+  // clients that stall past write_timeout), closes its connections, exits.
   stopping_.store(true);
-  wake();
-  if (loop_.joinable()) loop_.join();
+  for (auto& sh : shards_) wake(*sh);
+  for (auto& sh : shards_) {
+    if (sh->loop.joinable()) sh->loop.join();
+  }
 }
 
 std::shared_ptr<const runtime::Model> Server::model() const {
@@ -127,60 +197,158 @@ Client Server::connect(const std::string& model_name) {
       throw std::invalid_argument("serve::Server: connect() to unknown model '" +
                                   model_name + "'");
     }
-    local_.push(std::move(server_end));  // wakes the loop; it accepts + registers
+    // Deal in-process connections round-robin: the accept fan-out for the
+    // transport that has no kernel to spread it.
+    Shard& sh = *shards_[next_shard_++ % shards_.size()];
+    sh.local.push(std::move(server_end));  // wakes that shard; it accepts + registers
   }
   return Client(std::move(model), std::move(client_end), model_name);
 }
 
 ServerStats Server::stats() const {
   ServerStats s;
-  {
-    std::lock_guard<std::mutex> lk(m_);
-    s = counters_;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->m);
+    const ShardStats& c = sh->counters;
+    s.connections += c.connections;
+    s.frames_in += c.frames_in;
+    s.frames_out += c.frames_out;
+    s.bad_frames += c.bad_frames;
+    s.bad_requests += c.bad_requests;
+    s.not_found += c.not_found;
+    s.dropped += c.dropped;
+    s.overloaded += c.overloaded;
+    s.metrics_scrapes += c.metrics_scrapes;
   }
   if (const std::optional<BatcherStats> b = registry_->stats("")) s.batcher = *b;
   return s;
 }
 
-void Server::bump(std::uint64_t ServerStats::* counter) {
-  std::lock_guard<std::mutex> lk(m_);
-  ++(counters_.*counter);
+std::vector<ShardStats> Server::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->m);
+    out.push_back(sh->counters);
+  }
+  return out;
+}
+
+std::string Server::metrics_text() const {
+  // Plaintext scrape page: `name{labels} value` lines. The field set below
+  // is a contract — scrapers parse it — so additions are fine, renames and
+  // removals are not (docs/serving.md documents every line).
+  std::string out;
+  out.reserve(1024);
+  out += "# dp_serve metrics v1\n";
+  const double up = std::chrono::duration<double>(Clock::now() - start_).count();
+  const std::vector<ShardStats> per_shard = shard_stats();
+  std::uint64_t requests_total = 0;
+  for (const ShardStats& s : per_shard) requests_total += s.frames_in;
+  const unsigned hw = std::thread::hardware_concurrency();
+  append_gauge(out, "dp_uptime_seconds", "", up);
+  append_counter(out, "dp_hardware_concurrency", "", hw == 0 ? 1 : hw);
+  append_counter(out, "dp_shards", "", per_shard.size());
+  append_counter(out, "dp_requests_total", "", requests_total);
+  append_gauge(out, "dp_requests_per_second", "",
+               up > 0 ? static_cast<double>(requests_total) / up : 0.0);
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    const ShardStats& s = per_shard[i];
+    const std::string label = "{shard=\"" + std::to_string(i) + "\"}";
+    append_counter(out, "dp_shard_connections", label, s.connections);
+    append_counter(out, "dp_shard_frames_in", label, s.frames_in);
+    append_counter(out, "dp_shard_frames_out", label, s.frames_out);
+    append_counter(out, "dp_shard_bad_frames", label, s.bad_frames);
+    append_counter(out, "dp_shard_bad_requests", label, s.bad_requests);
+    append_counter(out, "dp_shard_not_found", label, s.not_found);
+    append_counter(out, "dp_shard_dropped", label, s.dropped);
+    append_counter(out, "dp_shard_overloaded", label, s.overloaded);
+    append_counter(out, "dp_shard_metrics_scrapes", label, s.metrics_scrapes);
+  }
+  for (const std::string& name : registry_->names()) {
+    const std::optional<BatcherStats> b = registry_->stats(name);
+    if (!b) continue;  // unloaded between names() and here
+    const std::string label = "{model=\"" + name + "\"}";
+    append_counter(out, "dp_model_accepted", label, b->accepted);
+    append_counter(out, "dp_model_rejected", label, b->rejected);
+    append_counter(out, "dp_model_completed", label, b->completed);
+    append_counter(out, "dp_model_batches", label, b->batches);
+    append_counter(out, "dp_model_queue_depth", label, b->queue_depth);
+    append_counter(out, "dp_model_in_flight", label, b->in_flight);
+    append_gauge(out, "dp_model_occupancy", label, b->mean_occupancy);
+    append_gauge(out, "dp_model_wait_p50_us", label, b->wait_p50_us);
+    append_gauge(out, "dp_model_wait_p99_us", label, b->wait_p99_us);
+    append_gauge(out, "dp_model_wait_p999_us", label, b->wait_p999_us);
+  }
+  return out;
+}
+
+void Server::bump(Shard& sh, std::uint64_t ShardStats::* counter) {
+  std::lock_guard<std::mutex> lk(sh.m);
+  ++(sh.counters.*counter);
 }
 
 // ---------------------------------------------------------------------------
-// Server — event loop
+// Server — event loops (one per shard)
 // ---------------------------------------------------------------------------
 
-void Server::accept_from(Transport& transport, std::vector<std::shared_ptr<Conn>>& conns) {
+void Server::accept_from(Shard& sh, Transport& transport,
+                         std::vector<std::shared_ptr<Conn>>& conns,
+                         std::size_t& request_conns, bool metrics_conn) {
   for (;;) {
     FdStream stream = transport.accept();
     if (!stream.valid()) return;
     if (stopping_.load()) continue;  // refused: FdStream closes on destruction
     stream.set_nonblocking(true);
     auto conn = std::make_shared<Conn>(std::move(stream));
+    conn->owner = &sh;
     conn->last_progress = Clock::now();
+    if (metrics_conn) {
+      // One-shot scrape: the page is queued now, the read side is
+      // short-circuited, and the graceful-close path closes the connection
+      // the moment the queue flushes. No framing — nc/curl territory.
+      conn->raw = true;
+      conn->read_done = true;
+      const std::string text = metrics_text();
+      conn->wq_bytes = text.size();
+      conn->wq.emplace_back(text.begin(), text.end());
+      bump(sh, &ShardStats::metrics_scrapes);
+    } else {
+      if (max_connections_per_shard_ > 0 && request_conns >= max_connections_per_shard_) {
+        // Over the cap: keep the connection just long enough to answer its
+        // first frames with a clean kOverloaded status, instead of slamming
+        // the socket shut and leaving the client to guess why.
+        conn->reject = true;
+      }
+      ++request_conns;
+      bump(sh, &ShardStats::connections);
+    }
     conns.push_back(std::move(conn));
-    bump(&ServerStats::connections);
   }
 }
 
-void Server::loop_main() {
-  loop_tid_.store(std::this_thread::get_id());
+void Server::loop_main(Shard& sh) {
+  sh.tid.store(std::this_thread::get_id());
   std::vector<std::shared_ptr<Conn>> conns;
   std::vector<pollfd> pfds;
   std::vector<std::uint8_t> chunk(kReadChunk);
 
-  // When the loop exits nobody accepts anymore: close the TCP listener so a
-  // late connect() is refused instead of parked in the kernel backlog.
+  // When the loop exits nobody accepts anymore: close this shard's
+  // listeners so a late connect is refused instead of parked in the kernel
+  // backlog.
   struct ListenerGuard {
-    std::unique_ptr<TcpTransport>& tcp;
-    ~ListenerGuard() { tcp.reset(); }
-  } guard{tcp_};
+    Shard& sh;
+    ~ListenerGuard() {
+      sh.tcp.reset();
+      sh.metrics.reset();
+    }
+  } guard{sh};
 
   // While accept(2) is failing on resource exhaustion, the backlog keeps the
   // listener readable; excluding it from the poll set until this deadline is
   // what turns a 100%-CPU spin into a periodic retry.
   Clock::time_point tcp_backoff{};
+  Clock::time_point metrics_backoff{};
 
   for (;;) {
     const bool stopping = stopping_.load();
@@ -188,13 +356,25 @@ void Server::loop_main() {
 
     // --- build the poll set -----------------------------------------------
     pfds.clear();
-    pfds.push_back({wake_r_.fd(), POLLIN, 0});
-    pfds.push_back({local_.readiness_fd(), POLLIN, 0});
-    const bool poll_tcp = tcp_ != nullptr && iter_now >= tcp_backoff;
-    if (poll_tcp) pfds.push_back({tcp_->readiness_fd(), POLLIN, 0});
+    pfds.push_back({sh.wake_r.fd(), POLLIN, 0});
+    pfds.push_back({sh.local.readiness_fd(), POLLIN, 0});
+    const bool poll_tcp = sh.tcp != nullptr && iter_now >= tcp_backoff;
+    std::size_t idx_tcp = 0;
+    if (poll_tcp) {
+      idx_tcp = pfds.size();
+      pfds.push_back({sh.tcp->readiness_fd(), POLLIN, 0});
+    }
+    const bool poll_metrics = sh.metrics != nullptr && iter_now >= metrics_backoff;
+    std::size_t idx_metrics = 0;
+    if (poll_metrics) {
+      idx_metrics = pfds.size();
+      pfds.push_back({sh.metrics->readiness_fd(), POLLIN, 0});
+    }
     const std::size_t base = pfds.size();
     bool any_wq = false;
+    std::size_t request_conns = 0;  // live non-metrics conns; feeds the cap
     for (const std::shared_ptr<Conn>& conn : conns) {
+      if (!conn->raw) ++request_conns;
       short events = 0;
       if (!conn->read_done && !stopping) events |= POLLIN;
       {
@@ -208,7 +388,9 @@ void Server::loop_main() {
     }
 
     int timeout = (stopping || any_wq) ? kTickMs : -1;
-    if (tcp_ != nullptr && !poll_tcp && timeout < 0) timeout = kTickMs;  // resume the listener
+    const bool parked = (sh.tcp != nullptr && !poll_tcp) ||
+                        (sh.metrics != nullptr && !poll_metrics);
+    if (parked && timeout < 0) timeout = kTickMs;  // resume the listener
     const int rc = ::poll(pfds.data(), pfds.size(), timeout);
     if (rc < 0 && errno != EINTR) {
       // Unrecoverable poll failure (should not happen): die visibly. Marking
@@ -227,8 +409,11 @@ void Server::loop_main() {
         conn->stream.shutdown_both();
         conn->stream.close();
       }
+      {
+        std::lock_guard<std::mutex> lk(sh.m);
+        sh.counters.dropped += conns.size();
+      }
       std::lock_guard<std::mutex> lk(m_);
-      counters_.dropped += conns.size();
       stopped_ = true;
       draining_.store(true);
       return;
@@ -237,23 +422,30 @@ void Server::loop_main() {
     // --- wakeups and new connections --------------------------------------
     if (pfds[0].revents != 0) {
       char drain[256];
-      while (wake_r_.read_some(drain, sizeof(drain)) > 0) {
+      while (sh.wake_r.read_some(drain, sizeof(drain)) > 0) {
       }
     }
     if (pfds[1].revents != 0) {
       try {
-        accept_from(local_, conns);
+        accept_from(sh, sh.local, conns, request_conns, false);
       } catch (const TransportError&) {
         // A connection we failed to register is simply lost (its FdStream
         // closed); the loop itself must survive.
       }
     }
-    if (poll_tcp && pfds[2].revents != 0) {
+    if (poll_tcp && pfds[idx_tcp].revents != 0) {
       try {
-        accept_from(*tcp_, conns);
+        accept_from(sh, *sh.tcp, conns, request_conns, false);
       } catch (const TransportError&) {
         // Out of fds (or similar): park the listener and retry shortly.
         tcp_backoff = Clock::now() + std::chrono::milliseconds(200);
+      }
+    }
+    if (poll_metrics && pfds[idx_metrics].revents != 0) {
+      try {
+        accept_from(sh, *sh.metrics, conns, request_conns, true);
+      } catch (const TransportError&) {
+        metrics_backoff = Clock::now() + std::chrono::milliseconds(200);
       }
     }
 
@@ -277,8 +469,8 @@ void Server::loop_main() {
             conn->read_done = true;
           } else if (n > 0) {
             conn->rbuf.insert(conn->rbuf.end(), chunk.begin(), chunk.begin() + n);
-            alive = drain_rbuf(conn);  // false = framing error: drop
-            if (!alive) bump(&ServerStats::bad_frames);
+            alive = drain_rbuf(sh, conn);  // false = framing error: drop
+            if (!alive) bump(sh, &ShardStats::bad_frames);
           }
         } catch (const TransportError&) {
           alive = false;  // reset under us
@@ -311,7 +503,7 @@ void Server::loop_main() {
       }
 
       // Write side.
-      if (alive) alive = flush_writes(conn);
+      if (alive) alive = flush_writes(sh, conn);
 
       // Stall / overflow verdicts.
       if (alive) {
@@ -367,7 +559,7 @@ void Server::loop_main() {
         }
         conn->stream.shutdown_both();
         conn->stream.close();
-        bump(&ServerStats::dropped);
+        bump(sh, &ShardStats::dropped);
         continue;  // not kept
       }
       conns[out++] = conn;
@@ -380,7 +572,7 @@ void Server::loop_main() {
   }
 }
 
-bool Server::drain_rbuf(const std::shared_ptr<Conn>& conn) {
+bool Server::drain_rbuf(Shard& sh, const std::shared_ptr<Conn>& conn) {
   FrameTally tally;
   bool ok = true;
   for (;;) {
@@ -397,17 +589,22 @@ bool Server::drain_rbuf(const std::shared_ptr<Conn>& conn) {
     if (!frame) break;
     conn->rbuf_head += consumed;
     ++tally.frames_in;
-    handle_request(conn, std::move(*frame), tally);
+    handle_request(sh, conn, std::move(*frame), tally);
   }
   // One stats lock per read chunk, not per frame (a pipelining client can
   // deliver dozens of frames per chunk).
   if (tally.frames_in > 0) {
-    std::lock_guard<std::mutex> lk(m_);
-    counters_.frames_in += tally.frames_in;
-    counters_.bad_requests += tally.bad_requests;
-    counters_.not_found += tally.not_found;
+    std::lock_guard<std::mutex> lk(sh.m);
+    sh.counters.frames_in += tally.frames_in;
+    sh.counters.bad_requests += tally.bad_requests;
+    sh.counters.not_found += tally.not_found;
+    sh.counters.overloaded += tally.overloaded;
+    sh.counters.metrics_scrapes += tally.metrics;
   }
   if (!ok) return false;
+  // An over-cap connection has now been answered: stop reading so the
+  // graceful-close path flushes the kOverloaded responses and closes it.
+  if (conn->reject && tally.frames_in > 0) conn->read_done = true;
   if (conn->rbuf_head == conn->rbuf.size()) {
     conn->rbuf.clear();
     conn->rbuf_head = 0;
@@ -419,16 +616,43 @@ bool Server::drain_rbuf(const std::shared_ptr<Conn>& conn) {
   return true;
 }
 
-void Server::handle_request(const std::shared_ptr<Conn>& conn, Frame frame,
+void Server::handle_request(Shard& sh, const std::shared_ptr<Conn>& conn, Frame frame,
                             FrameTally& tally) {
   const std::uint64_t id = frame.request_id;
   if (draining_.load()) {
     enqueue_response(conn, id, Status::kShutdown, {});
     return;
   }
+  if (frame.type == FrameType::kMetricsRequest) {
+    // In-band scrape: reserved frame type, empty payload required (the
+    // layout is pinned by the adversarial protocol tests). Answered even on
+    // an over-cap connection — observability under overload is the point.
+    if (!frame.payload.empty() || !frame.model.empty()) {
+      ++tally.bad_requests;
+      enqueue_response(conn, id, Status::kBadRequest, {});
+      return;
+    }
+    ++tally.metrics;
+    const std::vector<std::uint32_t> page = pack_text(metrics_text());
+    enqueue_response(conn, id, Status::kOk, page);
+    return;
+  }
   if (frame.type != FrameType::kRequest) {
     ++tally.bad_requests;
     enqueue_response(conn, id, Status::kBadRequest, {});
+    return;
+  }
+  if (conn->reject) {
+    // Over the connection cap: clean rejection, then drain_rbuf stops the
+    // read side so the connection closes once the response flushes.
+    ++tally.overloaded;
+    enqueue_response(conn, id, Status::kOverloaded, {});
+    return;
+  }
+  if (max_inflight_per_connection_ > 0 &&
+      conn->outstanding.load() >= max_inflight_per_connection_) {
+    ++tally.overloaded;
+    enqueue_response(conn, id, Status::kOverloaded, {});
     return;
   }
   // Route: v2 by name, v1 (empty name) to the default entry. The lease pins
@@ -457,11 +681,14 @@ void Server::handle_request(const std::shared_ptr<Conn>& conn, Frame frame,
   // quantizes its input, and RNE quantization is idempotent on representable
   // values, so this decode->requantize round trip is exact.
   const num::Format& fmt = lease->model->format();
-  x_scratch_.resize(dim);
-  for (std::size_t i = 0; i < dim; ++i) x_scratch_[i] = fmt.to_double(frame.payload[i]);
+  sh.x_scratch.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) sh.x_scratch[i] = fmt.to_double(frame.payload[i]);
   conn->outstanding.fetch_add(1);
-  lease->batcher.submit(
-      x_scratch_, [this, conn, id](Status status, std::span<const std::uint32_t> bits) {
+  // Shard-private admission lane: no cross-shard contention on the submit
+  // lock (lane() wraps modulo the entry's lane count, so an external
+  // registry with fewer lanes than shards still routes correctly).
+  lease->lane(sh.index).submit(
+      sh.x_scratch, [this, conn, id](Status status, std::span<const std::uint32_t> bits) {
         enqueue_response(conn, id, status, bits);
         conn->outstanding.fetch_sub(1);
       });
@@ -483,10 +710,10 @@ void Server::enqueue_response(const std::shared_ptr<Conn>& conn, std::uint64_t i
     conn->wq.push_back(std::move(bytes));
     if (conn->wq_bytes > max_write_queue_bytes_) conn->overflow = true;
   }
-  wake();
+  wake(*conn->owner);
 }
 
-bool Server::flush_writes(const std::shared_ptr<Conn>& conn) {
+bool Server::flush_writes(Shard& sh, const std::shared_ptr<Conn>& conn) {
   // Never hold conn->m across the send(2): dispatcher completion callbacks
   // enqueue under the same mutex, and inference threads must not queue up
   // behind socket I/O. Holding a pointer into the front frame without the
@@ -525,9 +752,10 @@ bool Server::flush_writes(const std::shared_ptr<Conn>& conn) {
     }
     conn->last_progress = Clock::now();
   }
-  if (completed > 0) {
-    std::lock_guard<std::mutex> lk(m_);
-    counters_.frames_out += completed;
+  // Raw metrics scrapes are text, not frames; they don't count as frames_out.
+  if (completed > 0 && !conn->raw) {
+    std::lock_guard<std::mutex> lk(sh.m);
+    sh.counters.frames_out += completed;
   }
   return ok;
 }
@@ -574,6 +802,38 @@ Reply Client::receive(std::uint64_t id) {
     // A response for a different pipelined request: park it for its
     // receive(). Out-of-order arrival is normal with dispatchers >= 2.
     buffered_[frame->request_id] = Reply{frame->status, std::move(frame->payload)};
+  }
+}
+
+std::string Client::metrics() {
+  Frame frame;
+  frame.version = kProtocolV1;
+  frame.type = FrameType::kMetricsRequest;
+  frame.request_id = next_id_++;
+  write_frame(stream_, frame);
+  for (;;) {
+    std::optional<Frame> resp = read_frame(stream_);
+    if (!resp) throw TransportError("serve::Client: server closed the connection");
+    if (resp->type != FrameType::kResponse) {
+      throw ProtocolError("serve::Client: server sent a non-response frame");
+    }
+    if (resp->request_id == frame.request_id) {
+      if (resp->status != Status::kOk) {
+        throw ProtocolError(std::string("serve::Client: metrics scrape refused: ") +
+                            to_string(resp->status));
+      }
+      // Unpack the little-endian u32 payload and strip the NUL padding.
+      std::string text;
+      text.reserve(resp->payload.size() * 4);
+      for (const std::uint32_t w : resp->payload) {
+        for (int b = 0; b < 4; ++b) text.push_back(static_cast<char>((w >> (8 * b)) & 0xff));
+      }
+      while (!text.empty() && text.back() == '\0') text.pop_back();
+      return text;
+    }
+    // A pipelined inference response overtook the scrape: park it.
+    awaiting_.erase(resp->request_id);
+    buffered_[resp->request_id] = Reply{resp->status, std::move(resp->payload)};
   }
 }
 

@@ -1,39 +1,64 @@
 #pragma once
 // serve::Server / serve::Client — the request/response front-end over the
-// wire protocol, driven by a single poll(2) event loop.
+// wire protocol, driven by N sharded poll(2) event loops.
 //
-// One event-loop thread owns every kind of readiness:
+// The server is split into `ServerOptions::shards` independent shards. Each
+// shard is one event-loop thread that OWNS its accept path and every
+// connection it accepted — fds, read buffers, write queues — end to end:
 //
-//   * accept — new connections from any registered transport: the in-process
-//     socketpair transport (Server::connect(), zero network, what CI leans
-//     on) and the optional TCP listener (ServerOptions::tcp_port) feed the
-//     same loop through the shared Transport interface;
+//   * accept — in-process connections (Server::connect(), zero network, what
+//     CI leans on) are dealt round-robin onto the shards' LocalTransports;
+//     TCP connections (ServerOptions::tcp_port) arrive through one
+//     SO_REUSEPORT listener PER SHARD on the same port, so the kernel
+//     spreads inbound connections across the shards with no accept lock and
+//     no thundering herd;
 //   * read — per-connection read buffers accumulate bytes and frames are
 //     carved off incrementally (try_extract), so a thousand clients cost a
 //     thousand fds, not a thousand blocked reader threads;
 //   * write — responses are encoded on the completing dispatcher thread and
-//     queued onto the connection's bounded write queue; the loop flushes
-//     queues as sockets accept bytes, so a slow reader never blocks a
-//     dispatcher.
+//     queued onto the connection's bounded write queue; the owning shard
+//     flushes queues as sockets accept bytes, so a slow reader never blocks
+//     a dispatcher.
 //
-// Request path: the loop decodes a frame, routes it through the
-// ModelRegistry — a v2 frame by its model-name field, a v1 frame (or an
+// All shards route through ONE shared ModelRegistry. Each registry entry
+// carries `lanes` independent DynamicBatchers (identical, over the one
+// immutable Model); shard s submits into lane s, so admission never
+// contends across shards, while hot swap/unload still drains every lane
+// before releasing an entry. The registry's lease pin works exactly as in
+// the single-loop design — a request that resolved an entry before a swap
+// lands in the old lanes and is answered from the old model. The single-model
+// constructor sizes its private registry's lanes to the shard count and
+// points every dispatcher Session at one shared runtime::WorkerPool, so N
+// shards never oversubscribe the machine with N private pools.
+//
+// Admission control bounds what any client (or client population) can pin:
+//
+//   * max_connections_per_shard — connections accepted past the cap are
+//     answered kOverloaded (a clean status, not a slammed socket) and closed
+//     after their first batch of frames;
+//   * max_inflight_per_connection — a pipelining client past its in-flight
+//     budget gets kOverloaded for the excess instead of queue space;
+//   * max_write_queue_bytes / write_timeout — a connection whose write queue
+//     overflows, or makes no progress (peer stopped reading), is dropped and
+//     its remaining responses discarded.
+//
+// Observability: Server::metrics_text() renders a plaintext page of
+// per-shard and per-model counters (format pinned in docs/serving.md).
+// It is scrape-able two ways — in-band, via a reserved protocol frame
+// (FrameType::kMetricsRequest, Client::metrics()); or out-of-band via
+// ServerOptions::metrics_port, a side TCP listener that writes the page to
+// every connection and closes (curl/nc-friendly, no framing).
+//
+// Request path per frame: the owning shard decodes it, routes it through
+// the registry — a v2 frame by its model-name field, a v1 frame (or an
 // empty name) to the default entry; an unknown name gets kNotFound — checks
 // the feature count against that entry's model (mismatch -> kBadRequest
-// without touching the batcher), and submits into the entry's
-// DynamicBatcher while holding a registry lease, which is what lets a
-// concurrent hot swap drain the old model without dropping this request.
-// The completion callback (dispatcher thread) encodes the response and
-// queues it; responses to one connection may complete out of request order
-// and the echoed request id is what lets the client demux them. A framing
-// error (bad magic/CRC) is unrecoverable on a byte stream, so the server
-// drops that connection and counts it.
-//
-// Misbehaving clients are bounded in both directions: a connection whose
-// write queue exceeds max_write_queue_bytes, or whose queue makes no write
-// progress for write_timeout (a peer that stopped reading), is dropped and
-// its remaining responses discarded — one stalled client can never
-// head-of-line-block the loop, a dispatcher, or stop().
+// without touching the batcher), and submits into the entry's lane for this
+// shard while holding a registry lease. The completion callback (dispatcher
+// thread) encodes the response and queues it; responses to one connection
+// may complete out of request order and the echoed request id is what lets
+// the client demux them. A framing error (bad magic/CRC) is unrecoverable
+// on a byte stream, so the shard drops that connection and counts it.
 //
 // Client threading contract mirrors runtime::Session: one Client is
 // single-caller state (calls on it must not overlap); open as many Clients
@@ -79,20 +104,56 @@ struct ServerOptions {
   std::size_t max_write_queue_bytes = 4u << 20;
   /// When set, also listen for real TCP clients on 127.0.0.1:tcp_port
   /// (0 = ephemeral; read the bound port back with Server::tcp_port()).
+  /// With shards > 1 every shard gets its own SO_REUSEPORT listener on the
+  /// same port.
   std::optional<std::uint16_t> tcp_port;
+  /// Event-loop shards. 1 keeps the original single-loop server; 0 resolves
+  /// to std::thread::hardware_concurrency(). The single-model constructor
+  /// also sizes its private registry's admission lanes to this count.
+  std::size_t shards = 1;
+  /// Per-shard cap on concurrently registered request connections; a
+  /// connection accepted past it is answered kOverloaded and closed after
+  /// its first batch of frames. 0 = unlimited.
+  std::size_t max_connections_per_shard = 0;
+  /// Per-connection cap on requests submitted but not yet answered; a
+  /// pipelining client past it gets kOverloaded for the excess instead of
+  /// queue space. 0 = unlimited.
+  std::size_t max_inflight_per_connection = 0;
+  /// When set, a side TCP listener on 127.0.0.1:metrics_port (0 =
+  /// ephemeral; read back with Server::metrics_port()) that writes
+  /// metrics_text() to every connection and closes it — scrape with
+  /// nc/curl, no protocol framing involved. Served by shard 0's loop.
+  std::optional<std::uint16_t> metrics_port;
 };
 
-/// Wire- and connection-level counters plus the default entry's batcher
-/// stats (per-entry stats for other models: ModelRegistry::stats()).
+/// Wire- and connection-level counters of ONE shard (Server::shard_stats();
+/// the metrics page renders these per shard).
+struct ShardStats {
+  std::uint64_t connections = 0;     ///< request connections accepted
+  std::uint64_t frames_in = 0;       ///< request frames decoded
+  std::uint64_t frames_out = 0;      ///< response frames fully written
+  std::uint64_t bad_frames = 0;      ///< framing errors (connection dropped)
+  std::uint64_t bad_requests = 0;    ///< well-framed but invalid (wrong dim / type)
+  std::uint64_t not_found = 0;       ///< v2 requests naming an unknown model
+  std::uint64_t dropped = 0;         ///< connections dropped (stall / overflow / bad frame)
+  std::uint64_t overloaded = 0;      ///< requests refused by admission control
+  std::uint64_t metrics_scrapes = 0; ///< metrics pages served (both flavours)
+};
+
+/// Whole-server counters (every ShardStats field summed across shards) plus
+/// the default entry's batcher stats, aggregated across its admission lanes
+/// (per-entry stats for other models: ModelRegistry::stats()).
 struct ServerStats {
-  BatcherStats batcher;             ///< the default registry entry's batcher
-  std::uint64_t connections = 0;    ///< total ever accepted (both transports)
-  std::uint64_t frames_in = 0;      ///< request frames decoded
-  std::uint64_t frames_out = 0;     ///< response frames fully written
-  std::uint64_t bad_frames = 0;     ///< framing errors (connection dropped)
-  std::uint64_t bad_requests = 0;   ///< well-framed but invalid (wrong dim / type)
-  std::uint64_t not_found = 0;      ///< v2 requests naming an unknown model
-  std::uint64_t dropped = 0;        ///< connections dropped (stall / overflow / bad frame)
+  BatcherStats batcher;              ///< the default registry entry, all lanes
+  std::uint64_t connections = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bad_frames = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t metrics_scrapes = 0;
 };
 
 class Client;
@@ -100,13 +161,17 @@ class Client;
 class Server {
  public:
   /// Single-model convenience: builds a private registry holding `model`
-  /// under the name "default". Throws std::invalid_argument on a null model.
+  /// under the name "default", with one admission lane per shard and one
+  /// shared worker pool behind every dispatcher Session. Throws
+  /// std::invalid_argument on a null model.
   explicit Server(std::shared_ptr<const runtime::Model> model, ServerOptions opts = {});
 
   /// Serve an externally owned registry (multi-model; hot load/swap/unload
   /// through it while serving). The registry must outlive the Server, and
   /// stop() drains and shuts it down (its entries keep answering until every
-  /// accepted request is flushed).
+  /// accepted request is flushed). Shard s submits into entry lane
+  /// s % registry.lanes() — build the registry with lanes = the shard count
+  /// to give every shard a private admission lane.
   explicit Server(ModelRegistry& registry, ServerOptions opts = {});
 
   ~Server();
@@ -125,10 +190,18 @@ class Server {
   std::shared_ptr<const runtime::Model> model() const;
 
   /// Bound TCP port; 0 when the server was built without a TCP listener.
+  /// With shards > 1 all shard listeners share this port via SO_REUSEPORT.
   std::uint16_t tcp_port() const { return tcp_port_; }
 
-  /// Open a new in-process connection to the default entry. Throws
-  /// std::runtime_error after stop().
+  /// Bound metrics port; 0 when built without a metrics listener.
+  std::uint16_t metrics_port() const { return metrics_port_; }
+
+  /// Number of event-loop shards.
+  std::size_t shards() const { return shards_.size(); }
+
+  /// Open a new in-process connection to the default entry (connections are
+  /// dealt round-robin across the shards). Throws std::runtime_error after
+  /// stop().
   Client connect();
 
   /// In-process connection whose requests route to `model_name` (v2
@@ -138,25 +211,40 @@ class Server {
 
   ServerStats stats() const;
 
+  /// Per-shard counter snapshots, indexed by shard.
+  std::vector<ShardStats> shard_stats() const;
+
+  /// The plaintext metrics page: one `name{labels} value` line per metric,
+  /// first line `# dp_serve metrics v1`. Per-shard counters are labelled
+  /// {shard="i"}, per-model batcher stats {model="name"}. The exact field
+  /// set is part of the scrape contract (docs/serving.md) and pinned by
+  /// tests/serve/shard_server_test.cpp. Safe from any thread.
+  std::string metrics_text() const;
+
   /// Orderly shutdown: drain the registry (every accepted request is
   /// answered from the model that accepted it), flush every write queue,
-  /// close every connection, join the event loop. Idempotent; the
+  /// close every connection, join all shard loops. Idempotent; the
   /// destructor calls it. Clients see end-of-stream afterwards.
   void stop();
 
  private:
-  /// One live connection, shared between the event loop (which owns the fd
-  /// and all read-side state) and dispatcher callbacks (which only append
-  /// to the write queue under `m`).
+  struct Shard;
+
+  /// One live connection, shared between its owning shard's event loop
+  /// (which owns the fd and all read-side state) and dispatcher callbacks
+  /// (which only append to the write queue under `m`).
   struct Conn {
     explicit Conn(FdStream s) : stream(std::move(s)) {}
 
     FdStream stream;
+    Shard* owner = nullptr;  // which shard's loop drives (and wakes for) us
 
-    // Read side — event-loop thread only.
+    // Read side — owning shard's loop thread only.
     std::vector<std::uint8_t> rbuf;
     std::size_t rbuf_head = 0;  // parsed-prefix offset, compacted periodically
     bool read_done = false;     // EOF seen (or reads abandoned during stop)
+    bool reject = false;        // over the connection cap: answer kOverloaded
+    bool raw = false;           // metrics scrape: wq holds raw text, not frames
     std::chrono::steady_clock::time_point last_progress{};  // write-stall clock
 
     // Write side — guarded by m (loop flushes, dispatcher callbacks append).
@@ -170,53 +258,78 @@ class Server {
     std::atomic<std::uint64_t> outstanding{0};  // batcher requests not yet responded
   };
 
+  /// One event-loop shard: its own accept sources, wake pipe, loop thread,
+  /// request-decode scratch, and counters. Connections live in the loop's
+  /// locals; everything here is either loop-thread-only (x_scratch), set
+  /// once before the loop starts (transports), or locked (counters).
+  struct Shard {
+    std::size_t index = 0;
+    LocalTransport local;                    // Server::connect() fan-out target
+    std::unique_ptr<TcpTransport> tcp;       // SO_REUSEPORT listener (when TCP on)
+    std::unique_ptr<TcpTransport> metrics;   // side metrics listener (shard 0 only)
+    FdStream wake_r, wake_w;                 // self-pipe: response enqueued / stop
+    std::thread loop;
+    std::atomic<std::thread::id> tid{};      // wake() is a no-op on the loop itself
+    std::vector<double> x_scratch;           // request decode buffer; loop only
+
+    mutable std::mutex m;  // counters
+    ShardStats counters;
+  };
+
   /// The common constructor both public ones delegate to: exactly one of
   /// `owned`/`external` is set.
   Server(std::unique_ptr<ModelRegistry> owned, ModelRegistry* external, ServerOptions opts);
 
-  void start_loop();
-  void loop_main();
-  void wake();
-  void accept_from(Transport& transport, std::vector<std::shared_ptr<Conn>>& conns);
+  void start_loop(Shard& sh);
+  void loop_main(Shard& sh);
+  void wake(Shard& sh);
+  /// Drain `transport`'s pending connections into `conns`. `request_conns`
+  /// is the shard's live request-connection count (maintained by the loop,
+  /// advanced here) that the connection cap is judged against.
+  void accept_from(Shard& sh, Transport& transport,
+                   std::vector<std::shared_ptr<Conn>>& conns, std::size_t& request_conns,
+                   bool metrics_conn);
   /// Frame counters accumulated across one read chunk, folded into the
-  /// stats under a single lock (never one lock per frame on the loop).
+  /// shard's stats under a single lock (never one lock per frame).
   struct FrameTally {
     std::uint64_t frames_in = 0;
     std::uint64_t bad_requests = 0;
     std::uint64_t not_found = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t metrics = 0;
   };
 
   /// Parse and route every complete frame in conn's read buffer. Returns
   /// false if the connection must be dropped (framing error).
-  bool drain_rbuf(const std::shared_ptr<Conn>& conn);
-  void handle_request(const std::shared_ptr<Conn>& conn, Frame frame, FrameTally& tally);
+  bool drain_rbuf(Shard& sh, const std::shared_ptr<Conn>& conn);
+  void handle_request(Shard& sh, const std::shared_ptr<Conn>& conn, Frame frame,
+                      FrameTally& tally);
   /// Flush as much queued response data as the socket takes right now.
   /// Returns false if the connection died mid-write.
-  bool flush_writes(const std::shared_ptr<Conn>& conn);
+  bool flush_writes(Shard& sh, const std::shared_ptr<Conn>& conn);
   void enqueue_response(const std::shared_ptr<Conn>& conn, std::uint64_t id, Status status,
                         std::span<const std::uint32_t> bits);
-  void bump(std::uint64_t ServerStats::* counter);
+  void bump(Shard& sh, std::uint64_t ShardStats::* counter);
 
   ModelRegistry* registry_;                          // routing target
   std::unique_ptr<ModelRegistry> owned_registry_;    // single-model constructor
   const std::chrono::milliseconds write_timeout_;
   const std::size_t max_write_queue_bytes_;
+  const std::size_t max_connections_per_shard_;
+  const std::size_t max_inflight_per_connection_;
+  const std::chrono::steady_clock::time_point start_;  // metrics uptime epoch
 
-  LocalTransport local_;
-  std::unique_ptr<TcpTransport> tcp_;  // loop-owned once started; closed at loop exit
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::uint16_t tcp_port_ = 0;
-  FdStream wake_r_, wake_w_;  // self-pipe: response enqueued / stop requested
+  std::uint16_t metrics_port_ = 0;
 
   std::atomic<bool> draining_{false};  // stop() begun: new requests -> kShutdown
-  std::atomic<bool> stopping_{false};  // loop must flush, close and exit
-  std::thread loop_;
-  std::atomic<std::thread::id> loop_tid_{};  // wake() is a no-op on the loop itself
-  std::vector<double> x_scratch_;  // request decode buffer; loop thread only
+  std::atomic<bool> stopping_{false};  // loops must flush, close and exit
 
-  mutable std::mutex m_;    // stats + stop bookkeeping
-  bool stopped_ = false;     // connect() refuses (stop() begun, or the loop died)
-  bool stop_called_ = false; // stop() ran end-to-end (it must always join loop_)
-  ServerStats counters_;     // .batcher unused here (stats() fills it live)
+  mutable std::mutex m_;     // stop bookkeeping + connect round-robin
+  std::size_t next_shard_ = 0;  // round-robin cursor for connect()
+  bool stopped_ = false;     // connect() refuses (stop() begun, or a loop died)
+  bool stop_called_ = false; // stop() ran end-to-end (it must always join loops)
 };
 
 /// The caller's end of one connection. Two usage styles:
@@ -256,6 +369,11 @@ class Client {
 
   /// Blocking round trip to an argmax class (-1 on a non-Ok status).
   int predict(std::span<const double> x);
+
+  /// In-band metrics scrape: send a kMetricsRequest frame, block for its
+  /// response, return the plaintext page (responses to other pipelined
+  /// requests seen meanwhile are buffered for their receive()).
+  std::string metrics();
 
   // --- Protocol-level escape hatches ---------------------------------------
   // For tests and alternative protocol implementations: bypass the sample

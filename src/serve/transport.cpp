@@ -163,13 +163,17 @@ FdStream LocalTransport::accept() {
 // TcpTransport
 // ---------------------------------------------------------------------------
 
-TcpTransport::TcpTransport(std::uint16_t port, int backlog) {
+TcpTransport::TcpTransport(std::uint16_t port, int backlog, bool reuseport) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   listen_ = FdStream(fd);
   const int one = 1;
   if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
     throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    throw_errno("setsockopt(SO_REUSEPORT)");
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;

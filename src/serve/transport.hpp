@@ -145,7 +145,11 @@ class LocalTransport : public Transport {
 /// interfaces.
 class TcpTransport : public Transport {
  public:
-  explicit TcpTransport(std::uint16_t port, int backlog = 128);
+  /// `reuseport` sets SO_REUSEPORT before bind, letting N listeners share
+  /// one port with the kernel hashing incoming connections across them —
+  /// the sharded server's accept path (one listener per shard, no accept
+  /// lock, no thundering herd). Every listener on the port must set it.
+  explicit TcpTransport(std::uint16_t port, int backlog = 128, bool reuseport = false);
 
   int readiness_fd() const override { return listen_.fd(); }
   FdStream accept() override;

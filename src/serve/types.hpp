@@ -18,6 +18,7 @@ enum class Status : std::uint16_t {
   kShutdown = 2,    ///< rejected: the batcher/server is shutting down
   kBadRequest = 3,  ///< malformed request (e.g. wrong feature count)
   kNotFound = 4,    ///< v2 routing: no registry entry under the requested model name
+  kOverloaded = 5,  ///< rejected by admission control (connection or in-flight cap)
 };
 
 const char* to_string(Status s);

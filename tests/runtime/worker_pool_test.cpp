@@ -95,6 +95,83 @@ TEST(WorkerPool, ExceptionPropagatesAndPoolStaysUsable) {
   EXPECT_EQ(count.load(), kRows);
 }
 
+// The multi-client contract that the sharded serving stack depends on: many
+// threads call run() on ONE pool concurrently (one per shard batcher lane),
+// and every job still runs every one of its rows exactly once, with slot
+// indices always in range. Hammered rather than choreographed — this is the
+// test TSan uses to look for races in the job queue.
+TEST(WorkerPool, ConcurrentSubmittersEachSeeEveryRowExactlyOnce) {
+  constexpr std::size_t kSubmitters = 6;
+  constexpr std::size_t kJobsEach = 16;
+  WorkerPool pool(4);
+
+  std::atomic<std::size_t> bad_slots{0};
+  std::vector<std::thread> submitters;
+  std::vector<std::size_t> total_rows(kSubmitters, 0);
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t j = 0; j < kJobsEach; ++j) {
+        // Vary the job size so jobs interleave at different phases.
+        const std::size_t rows = kRows / 2 + t * WorkerPool::kRowsPerChunk + j;
+        std::vector<std::atomic<int>> hits(rows);
+        pool.run(rows, [&](std::size_t row, std::size_t slot) {
+          if (slot >= pool.slots()) bad_slots.fetch_add(1);
+          hits[row].fetch_add(1);
+        });
+        for (std::size_t r = 0; r < rows; ++r) {
+          if (hits[r].load() != 1) bad_slots.fetch_add(1);  // count as failure
+        }
+        total_rows[t] += rows;
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+  EXPECT_EQ(bad_slots.load(), 0u);
+  for (std::size_t t = 0; t < kSubmitters; ++t) EXPECT_GT(total_rows[t], 0u);
+}
+
+// An exception must surface on the submitter whose job threw — never on an
+// innocent concurrent submitter sharing the pool — and the pool must keep
+// serving both afterwards.
+TEST(WorkerPool, ExceptionRoutesToTheThrowingJobsSubmitterOnly) {
+  constexpr std::size_t kIterations = 24;
+  WorkerPool pool(4);
+
+  std::atomic<std::size_t> innocent_throws{0};
+  std::atomic<std::size_t> guilty_catches{0};
+  std::thread innocent([&] {
+    for (std::size_t i = 0; i < kIterations; ++i) {
+      try {
+        std::atomic<std::size_t> count{0};
+        pool.run(kRows, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+        if (count.load() != kRows) innocent_throws.fetch_add(1);
+      } catch (...) {
+        innocent_throws.fetch_add(1);
+      }
+    }
+  });
+  std::thread guilty([&] {
+    for (std::size_t i = 0; i < kIterations; ++i) {
+      try {
+        pool.run(kRows, [&](std::size_t row, std::size_t) {
+          if (row == 7) throw std::runtime_error("guilty job");
+        });
+      } catch (const std::runtime_error&) {
+        guilty_catches.fetch_add(1);
+      }
+    }
+  });
+  innocent.join();
+  guilty.join();
+  EXPECT_EQ(innocent_throws.load(), 0u);
+  EXPECT_EQ(guilty_catches.load(), kIterations);
+
+  // Still fully functional for a fresh job.
+  std::atomic<std::size_t> count{0};
+  pool.run(kRows, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), kRows);
+}
+
 TEST(WorkerPool, SmallBatchRunsInlineEvenWithWorkers) {
   WorkerPool pool(8);
   const std::thread::id self = std::this_thread::get_id();
