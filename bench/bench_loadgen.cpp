@@ -14,16 +14,27 @@
 // every queued microsecond lands in the recorded p99/p99.9.
 //
 // Usage: bench_loadgen [--duration-ms D] [--rate R] [--clients C] [--shards S] [--json PATH]
+//                      [--chaos] [--chaos-seed N] [--deadline-us B]
 //          --duration-ms  measurement window per shard count    (default 2000)
 //          --rate         total offered request rate, req/s     (default 4000)
 //          --clients      concurrent TCP connections            (default 64)
 //          --shards       multi-shard point to compare against 1 shard
 //                         (default min(4, hardware_concurrency))
 //          --json         output path, "-" to disable           (default BENCH_loadgen.json)
+//          --chaos        dial every connection through a seeded FaultInjector
+//                         (sliced I/O, latency spikes, resets, refused
+//                         connects); clients redial and re-issue unanswered
+//                         requests, so chaos must cost latency, never answers
+//          --chaos-seed   FaultProfile seed for --chaos           (default 1)
+//          --deadline-us  per-request v3 deadline budget, 0 = none (default 0);
+//                         requests the server sheds come back kDeadlineExceeded
+//                         and land in the shed column, not the error count
 //
 // Exit status is nonzero if any request was lost (scheduled and sent but
 // never answered) or answered with an unexpected error status — the bench is
-// also a correctness check that the server answers EVERYTHING it accepts.
+// also a correctness check that the server answers EVERYTHING it accepts,
+// chaos or not. Rejections the resilience layer is SUPPOSED to produce
+// (kOverloaded, kDeadlineExceeded) are counted and reported, not failed.
 
 #include <poll.h>
 
@@ -33,6 +44,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <thread>
@@ -44,6 +58,7 @@
 #include "nn/quantize.hpp"
 #include "numeric/format.hpp"
 #include "runtime/model.hpp"
+#include "serve/fault_injection.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
@@ -65,6 +80,9 @@ struct Config {
   int clients = 64;
   int shards = 0;  // 0 = min(4, hardware_concurrency)
   std::string json_path = "BENCH_loadgen.json";
+  bool chaos = false;             // dial through a seeded FaultInjector
+  std::uint64_t chaos_seed = 1;   // FaultProfile seed for --chaos
+  std::uint64_t deadline_us = 0;  // v3 deadline budget per request, 0 = none
 };
 
 /// What one client thread saw. rtt_us holds one sample per ANSWERED request
@@ -73,58 +91,114 @@ struct ClientTally {
   std::vector<double> rtt_us;
   std::uint64_t sent = 0;
   std::uint64_t ok = 0;
-  std::uint64_t rejected = 0;  // kQueueFull / kOverloaded / kShutdown
-  std::uint64_t errors = 0;    // any other non-kOk status (unexpected)
-  std::uint64_t lost = 0;      // sent, never answered
+  std::uint64_t rejected = 0;           // kQueueFull / kShutdown
+  std::uint64_t overloaded = 0;         // kOverloaded (admission / rate limit)
+  std::uint64_t deadline_exceeded = 0;  // kDeadlineExceeded (shed while queued)
+  std::uint64_t retried = 0;            // requests re-issued after a chaos drop
+  std::uint64_t reconnects = 0;         // redials after the first connect
+  std::uint64_t errors = 0;             // any other non-kOk status (unexpected)
+  std::uint64_t lost = 0;               // sent, never answered
 };
 
-/// One open-loop client: its own nonblocking TCP connection, a fixed-rate
-/// send schedule, and a poll loop that interleaves writes and reads.
-void client_main(std::uint16_t port, const std::vector<std::uint32_t>& payload,
-                 Clock::time_point t0, Clock::time_point end, double interval_s,
-                 double phase_s, ClientTally& tally) {
+/// How a client opens (and under --chaos, reopens) its connection.
+using Dialer = std::function<serve::FdStream()>;
+
+/// One open-loop client: its own nonblocking connection, a fixed-rate send
+/// schedule, and a poll loop that interleaves writes and reads. Under
+/// --chaos the connection can die (reset) or refuse (dropped connect) at
+/// any moment; the client then redials and re-issues every unanswered
+/// request with its ORIGINAL id and scheduled instant — responses ride the
+/// connection they were requested on, so a dead connection can never answer,
+/// re-issuing cannot duplicate, and the fault's cost lands in the recorded
+/// tail latency instead of vanishing from the books.
+void client_main(const Dialer& dial, bool chaos, std::uint64_t deadline_us,
+                 const std::vector<std::uint32_t>& payload, Clock::time_point t0,
+                 Clock::time_point end, double interval_s, double phase_s, ClientTally& tally) {
   using namespace std::chrono;
-  try {
-    serve::FdStream conn = serve::tcp_connect(port);
-    conn.set_nonblocking(true);
+  std::unordered_map<std::uint64_t, Clock::time_point> scheduled;
+  std::vector<std::uint8_t> wbuf, rbuf;
+  std::size_t whead = 0;
+  std::uint64_t next_id = 1;
+  const auto interval = duration_cast<Clock::duration>(duration<double>(interval_s));
+  Clock::time_point next_send = t0 + duration_cast<Clock::duration>(duration<double>(phase_s));
+  const Clock::time_point drain_deadline = end + seconds(3);
 
-    std::unordered_map<std::uint64_t, Clock::time_point> scheduled;
-    std::vector<std::uint8_t> wbuf, rbuf;
-    std::size_t whead = 0;
-    std::uint64_t next_id = 1;
-    const auto interval = duration_cast<Clock::duration>(duration<double>(interval_s));
-    Clock::time_point next_send = t0 + duration_cast<Clock::duration>(duration<double>(phase_s));
-    const Clock::time_point drain_deadline = end + seconds(3);
+  serve::Frame req;
+  req.type = serve::FrameType::kRequest;
+  req.payload = payload;
+  if (deadline_us > 0) {
+    req.version = serve::kProtocolV3;
+    req.deadline_us = deadline_us;
+  }
+  const auto enqueue_frame = [&](std::uint64_t id) {
+    req.request_id = id;
+    const std::vector<std::uint8_t> bytes = serve::encode(req);
+    wbuf.insert(wbuf.end(), bytes.begin(), bytes.end());
+  };
 
-    serve::Frame req;
-    req.type = serve::FrameType::kRequest;
-    req.payload = payload;
-
+  std::optional<serve::FdStream> conn;
+  // (Re)dial until connected or the drain deadline passes. On a redial the
+  // old connection's buffers are garbage (torn frames) and its in-flight
+  // responses are gone with it: rebuild the write queue from every request
+  // still unanswered.
+  const auto redial = [&](bool first) -> bool {
     for (;;) {
-      const Clock::time_point now = Clock::now();
-
-      // The open-loop heart: emit every send whose scheduled instant has
-      // passed, no matter how many responses are still outstanding. The
-      // latency clock of each request starts at its SCHEDULED time, so time
-      // spent queued behind a slow socket is measured, not forgiven.
-      while (next_send <= now && next_send < end) {
-        req.request_id = next_id;
-        scheduled.emplace(next_id, next_send);
-        ++next_id;
-        ++tally.sent;
-        const std::vector<std::uint8_t> bytes = serve::encode(req);
-        wbuf.insert(wbuf.end(), bytes.begin(), bytes.end());
-        next_send += interval;
+      try {
+        serve::FdStream s = dial();
+        s.set_nonblocking(true);
+        conn = std::move(s);
+        if (!first) {
+          ++tally.reconnects;
+          rbuf.clear();
+          wbuf.clear();
+          whead = 0;
+          std::vector<std::uint64_t> ids;
+          ids.reserve(scheduled.size());
+          for (const auto& [id, when] : scheduled) ids.push_back(id);
+          std::sort(ids.begin(), ids.end());
+          for (const std::uint64_t id : ids) enqueue_frame(id);
+          tally.retried += ids.size();
+        }
+        return true;
+      } catch (const std::exception&) {
+        if (!chaos || Clock::now() >= drain_deadline) return false;
+        std::this_thread::sleep_for(milliseconds(2));  // refused: brief backoff
       }
+    }
+  };
 
-      const bool done_sending = now >= end || next_send >= end;
-      if (done_sending && scheduled.empty()) break;      // all answered
-      if (now >= drain_deadline) {                       // server went dark
-        tally.lost += scheduled.size();
-        break;
-      }
+  if (!redial(/*first=*/true)) {
+    // Could not even open the first connection: nothing was ever scheduled,
+    // but the run must notice the dead client.
+    std::fprintf(stderr, "client error: initial connect failed\n");
+    tally.lost += 1;
+    return;
+  }
 
-      pollfd pfd{conn.fd(), POLLIN, 0};
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+
+    // The open-loop heart: emit every send whose scheduled instant has
+    // passed, no matter how many responses are still outstanding. The
+    // latency clock of each request starts at its SCHEDULED time, so time
+    // spent queued behind a slow socket is measured, not forgiven.
+    while (next_send <= now && next_send < end) {
+      scheduled.emplace(next_id, next_send);
+      enqueue_frame(next_id);
+      ++next_id;
+      ++tally.sent;
+      next_send += interval;
+    }
+
+    const bool done_sending = now >= end || next_send >= end;
+    if (done_sending && scheduled.empty()) break;       // all answered
+    if (now >= drain_deadline) {                        // server went dark
+      tally.lost += scheduled.size();
+      break;
+    }
+
+    try {
+      pollfd pfd{conn->fd(), POLLIN, 0};
       if (whead < wbuf.size()) pfd.events |= POLLOUT;
       Clock::time_point wake = done_sending ? drain_deadline : std::min(next_send, drain_deadline);
       const auto timeout_ms =
@@ -132,7 +206,7 @@ void client_main(std::uint16_t port, const std::vector<std::uint32_t>& payload,
       (void)::poll(&pfd, 1, static_cast<int>(std::clamp<long long>(timeout_ms, 0, 100)));
 
       if ((pfd.revents & POLLOUT) != 0 && whead < wbuf.size()) {
-        const ssize_t n = conn.write_some(wbuf.data() + whead, wbuf.size() - whead);
+        const ssize_t n = conn->write_some(wbuf.data() + whead, wbuf.size() - whead);
         if (n > 0) whead += static_cast<std::size_t>(n);
         if (whead == wbuf.size()) {
           wbuf.clear();
@@ -142,11 +216,8 @@ void client_main(std::uint16_t port, const std::vector<std::uint32_t>& payload,
 
       if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
         char chunk[64 * 1024];
-        const ssize_t n = conn.read_some(chunk, sizeof(chunk));
-        if (n == 0) {  // server closed: whatever is unanswered is lost
-          tally.lost += scheduled.size();
-          break;
-        }
+        const ssize_t n = conn->read_some(chunk, sizeof(chunk));
+        if (n == 0) throw serve::TransportError("connection closed");
         if (n > 0) rbuf.insert(rbuf.end(), chunk, chunk + n);
         std::size_t head = 0;
         for (;;) {
@@ -162,20 +233,24 @@ void client_main(std::uint16_t port, const std::vector<std::uint32_t>& payload,
           scheduled.erase(it);
           switch (frame->status) {
             case serve::Status::kOk: ++tally.ok; break;
+            case serve::Status::kOverloaded: ++tally.overloaded; break;
+            case serve::Status::kDeadlineExceeded: ++tally.deadline_exceeded; break;
             case serve::Status::kQueueFull:
-            case serve::Status::kOverloaded:
             case serve::Status::kShutdown: ++tally.rejected; break;
             default: ++tally.errors; break;
           }
         }
         rbuf.erase(rbuf.begin(), rbuf.begin() + static_cast<std::ptrdiff_t>(head));
       }
+    } catch (const std::exception& e) {
+      // The connection died (reset, peer close, torn frame). Under chaos
+      // that is the weather: redial and re-issue. Otherwise it is a real
+      // server failure and everything unanswered is lost.
+      if (chaos && redial(/*first=*/false)) continue;
+      std::fprintf(stderr, "client error: %s\n", e.what());
+      tally.lost += scheduled.size();
+      break;
     }
-  } catch (const std::exception& e) {
-    // Connection-level failure: everything this client still had in flight
-    // is lost, and that shows up in the exit status.
-    std::fprintf(stderr, "client error: %s\n", e.what());
-    tally.lost += 1;
   }
 }
 
@@ -184,7 +259,15 @@ struct RunResult {
   double offered_rps = 0;
   double achieved_rps = 0;   // kOk responses per second of the send window
   std::uint64_t completed_ok = 0;
-  std::uint64_t rejected = 0;
+  std::uint64_t rejected = 0;           // kQueueFull / kShutdown
+  std::uint64_t overloaded = 0;         // kOverloaded answers observed
+  std::uint64_t deadline_exceeded = 0;  // kDeadlineExceeded answers observed
+  std::uint64_t retried = 0;            // requests re-issued after chaos drops
+  std::uint64_t reconnects = 0;         // client redials after chaos drops
+  std::uint64_t server_shed = 0;          // batcher-side deadline sheds
+  std::uint64_t server_rate_limited = 0;  // token-bucket refusals
+  std::uint64_t chaos_resets = 0;           // injector: mid-stream resets
+  std::uint64_t chaos_dropped_connects = 0; // injector: refused connects
   std::uint64_t errors = 0;
   std::uint64_t lost = 0;
   double rtt_p50_us = 0;
@@ -210,6 +293,24 @@ RunResult run_one(std::size_t shards, const Config& cfg) {
   opts.shards = shards;
   serve::Server server(model, opts);
 
+  // Under --chaos every client dials through one shared seeded injector, so
+  // the whole run's fault schedule replays from --chaos-seed.
+  std::shared_ptr<serve::FaultInjector> injector;
+  if (cfg.chaos) {
+    serve::FaultProfile profile;
+    profile.seed = cfg.chaos_seed;
+    profile.max_slice = 4096;  // slicing at frame scale, not byte-at-a-time
+    profile.delay_probability = 0.001;
+    profile.max_delay = std::chrono::microseconds(2000);
+    profile.reset_probability = 0.0002;
+    profile.drop_connect_probability = 0.05;
+    injector = std::make_shared<serve::FaultInjector>(profile);
+  }
+  const std::uint16_t port = server.tcp_port();
+  const Dialer dial = [injector, port] {
+    return injector ? injector->connect(port) : serve::tcp_connect(port);
+  };
+
   // One fixed input row, quantized once — request content does not affect
   // serving throughput, and a constant payload keeps the generator cheap.
   std::mt19937 rng(2019);
@@ -227,8 +328,9 @@ RunResult run_one(std::size_t shards, const Config& cfg) {
     // De-phase the schedules so the aggregate arrival process is smooth at
     // the target rate instead of `clients`-sized synchronized bursts.
     const double phase_s = static_cast<double>(c) / cfg.rate;
-    threads.emplace_back(client_main, server.tcp_port(), std::cref(payload), t0, end,
-                         interval_s, phase_s, std::ref(tallies[static_cast<std::size_t>(c)]));
+    threads.emplace_back(client_main, std::cref(dial), cfg.chaos, cfg.deadline_us,
+                         std::cref(payload), t0, end, interval_s, phase_s,
+                         std::ref(tallies[static_cast<std::size_t>(c)]));
   }
   for (std::thread& t : threads) t.join();
 
@@ -239,7 +341,14 @@ RunResult run_one(std::size_t shards, const Config& cfg) {
   r.queue_wait_p50_us = ss.batcher.wait_p50_us;
   r.queue_wait_p99_us = ss.batcher.wait_p99_us;
   r.queue_wait_p999_us = ss.batcher.wait_p999_us;
+  r.server_shed = ss.batcher.deadline_exceeded;
+  r.server_rate_limited = ss.rate_limited;
   server.stop();
+  if (injector) {
+    const serve::FaultInjector::Counters fc = injector->counters();
+    r.chaos_resets = fc.resets;
+    r.chaos_dropped_connects = fc.dropped_connects;
+  }
 
   std::vector<double> rtt;
   std::uint64_t sent = 0;
@@ -248,6 +357,10 @@ RunResult run_one(std::size_t shards, const Config& cfg) {
     sent += t.sent;
     r.completed_ok += t.ok;
     r.rejected += t.rejected;
+    r.overloaded += t.overloaded;
+    r.deadline_exceeded += t.deadline_exceeded;
+    r.retried += t.retried;
+    r.reconnects += t.reconnects;
     r.errors += t.errors;
     r.lost += t.lost;
   }
@@ -277,14 +390,20 @@ void write_json(const Config& cfg, const std::vector<RunResult>& results) {
   std::fprintf(f, "  \"duration_ms\": %d,\n", cfg.duration_ms);
   std::fprintf(f, "  \"target_rate_rps\": %.1f,\n", cfg.rate);
   std::fprintf(f, "  \"clients\": %d,\n", cfg.clients);
+  std::fprintf(f, "  \"chaos\": %s,\n", cfg.chaos ? "true" : "false");
+  std::fprintf(f, "  \"chaos_seed\": %llu,\n", static_cast<unsigned long long>(cfg.chaos_seed));
+  std::fprintf(f, "  \"deadline_us\": %llu,\n", static_cast<unsigned long long>(cfg.deadline_us));
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     std::fprintf(f,
                  "    {\"shards\": %zu, \"offered_rps\": %.1f, \"achieved_rps\": %.1f, "
-                 "\"completed_ok\": %llu, \"rejected\": %llu, \"errors\": %llu, "
-                 "\"lost\": %llu, "
+                 "\"completed_ok\": %llu, \"rejected\": %llu, \"overloaded\": %llu, "
+                 "\"deadline_exceeded\": %llu, \"retried\": %llu, \"reconnects\": %llu, "
+                 "\"server_shed\": %llu, \"server_rate_limited\": %llu, "
+                 "\"chaos_resets\": %llu, \"chaos_dropped_connects\": %llu, "
+                 "\"errors\": %llu, \"lost\": %llu, "
                  "\"rtt_p50_us\": %.2f, \"rtt_p99_us\": %.2f, \"rtt_p999_us\": %.2f, "
                  "\"queue_wait_p50_us\": %.2f, \"queue_wait_p99_us\": %.2f, "
                  "\"queue_wait_p999_us\": %.2f, "
@@ -292,6 +411,14 @@ void write_json(const Config& cfg, const std::vector<RunResult>& results) {
                  r.shards, r.offered_rps, r.achieved_rps,
                  static_cast<unsigned long long>(r.completed_ok),
                  static_cast<unsigned long long>(r.rejected),
+                 static_cast<unsigned long long>(r.overloaded),
+                 static_cast<unsigned long long>(r.deadline_exceeded),
+                 static_cast<unsigned long long>(r.retried),
+                 static_cast<unsigned long long>(r.reconnects),
+                 static_cast<unsigned long long>(r.server_shed),
+                 static_cast<unsigned long long>(r.server_rate_limited),
+                 static_cast<unsigned long long>(r.chaos_resets),
+                 static_cast<unsigned long long>(r.chaos_dropped_connects),
                  static_cast<unsigned long long>(r.errors),
                  static_cast<unsigned long long>(r.lost), r.rtt_p50_us, r.rtt_p99_us,
                  r.rtt_p999_us, r.queue_wait_p50_us, r.queue_wait_p99_us,
@@ -316,10 +443,14 @@ int main(int argc, char** argv) {
     else if (flag("--clients")) cfg.clients = std::atoi(argv[++i]);
     else if (flag("--shards")) cfg.shards = std::atoi(argv[++i]);
     else if (flag("--json")) cfg.json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--chaos") == 0) cfg.chaos = true;
+    else if (flag("--chaos-seed")) cfg.chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (flag("--deadline-us")) cfg.deadline_us = std::strtoull(argv[++i], nullptr, 10);
     else {
       std::fprintf(stderr,
                    "usage: bench_loadgen [--duration-ms D] [--rate R] [--clients C] "
-                   "[--shards S] [--json PATH|-]\n");
+                   "[--shards S] [--json PATH|-] [--chaos] [--chaos-seed N] "
+                   "[--deadline-us B]\n");
       return 2;
     }
   }
@@ -337,6 +468,14 @@ int main(int argc, char** argv) {
 
   std::printf("bench_loadgen: open-loop, %d clients, %.0f req/s offered, %d ms window, net %s\n",
               cfg.clients, cfg.rate, cfg.duration_ms, kNetName);
+  if (cfg.chaos) {
+    std::printf("chaos mode: fault injection on every client connection (seed %llu)\n",
+                static_cast<unsigned long long>(cfg.chaos_seed));
+  }
+  if (cfg.deadline_us > 0) {
+    std::printf("deadline budget: %llu us per request (protocol v3)\n",
+                static_cast<unsigned long long>(cfg.deadline_us));
+  }
   std::printf("hardware_concurrency = %u, shard counts:", hw);
   for (const std::size_t s : shard_counts) std::printf(" %zu", s);
   std::printf("\n\n");
@@ -348,17 +487,20 @@ int main(int argc, char** argv) {
   const double base = results[0].per_core_rps;
   for (RunResult& r : results) r.per_core_efficiency = base > 0 ? r.per_core_rps / base : 0;
 
-  std::printf("%7s %12s %13s %9s %9s %6s %12s %12s %13s %13s %12s\n", "shards", "offered/s",
-              "achieved/s", "rejected", "errors", "lost", "rtt p50 us", "rtt p99 us",
-              "rtt p99.9 us", "per-core r/s", "efficiency");
+  std::printf("%7s %12s %13s %9s %6s %6s %8s %9s %6s %12s %12s %13s %13s %12s\n", "shards",
+              "offered/s", "achieved/s", "rejected", "overl", "shed", "retried", "errors",
+              "lost", "rtt p50 us", "rtt p99 us", "rtt p99.9 us", "per-core r/s", "efficiency");
   bool failed = false;
   for (const RunResult& r : results) {
-    std::printf("%7zu %12.1f %13.1f %9llu %9llu %6llu %12.2f %12.2f %13.2f %13.1f %11.3f\n",
-                r.shards, r.offered_rps, r.achieved_rps,
-                static_cast<unsigned long long>(r.rejected),
-                static_cast<unsigned long long>(r.errors),
-                static_cast<unsigned long long>(r.lost), r.rtt_p50_us, r.rtt_p99_us,
-                r.rtt_p999_us, r.per_core_rps, r.per_core_efficiency);
+    std::printf(
+        "%7zu %12.1f %13.1f %9llu %6llu %6llu %8llu %9llu %6llu %12.2f %12.2f %13.2f "
+        "%13.1f %11.3f\n",
+        r.shards, r.offered_rps, r.achieved_rps, static_cast<unsigned long long>(r.rejected),
+        static_cast<unsigned long long>(r.overloaded),
+        static_cast<unsigned long long>(r.deadline_exceeded),
+        static_cast<unsigned long long>(r.retried), static_cast<unsigned long long>(r.errors),
+        static_cast<unsigned long long>(r.lost), r.rtt_p50_us, r.rtt_p99_us, r.rtt_p999_us,
+        r.per_core_rps, r.per_core_efficiency);
     if (r.lost != 0 || r.errors != 0) failed = true;
   }
   if (cfg.json_path != "-") write_json(cfg, results);

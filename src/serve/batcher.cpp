@@ -50,16 +50,26 @@ DynamicBatcher::DynamicBatcher(std::shared_ptr<const runtime::Model> model,
 
 DynamicBatcher::~DynamicBatcher() { shutdown(); }
 
-void DynamicBatcher::submit(std::span<const double> x, Callback cb) {
+void DynamicBatcher::submit(std::span<const double> x, Callback cb, Deadline deadline) {
   if (x.size() != model_->input_dim()) {
     throw std::invalid_argument("serve::DynamicBatcher: sample size != model input_dim");
   }
+  const Clock::time_point shed_at = deadline.value_or(Clock::time_point::max());
   {
     std::unique_lock<std::mutex> lk(m_);
     if (stop_) {
       ++rejected_;
       lk.unlock();
       cb(Status::kShutdown, {});
+      return;
+    }
+    const Clock::time_point now = Clock::now();
+    if (shed_at <= now) {
+      // Dead on arrival (the client's budget was already spent crossing the
+      // wire): complete inline, never occupy queue space.
+      ++deadline_exceeded_;
+      lk.unlock();
+      cb(Status::kDeadlineExceeded, {});
       return;
     }
     if (depth_locked() >= opts_.queue_capacity) {
@@ -69,7 +79,7 @@ void DynamicBatcher::submit(std::span<const double> x, Callback cb) {
       return;
     }
     pending_x_.insert(pending_x_.end(), x.begin(), x.end());
-    pending_.push_back({std::move(cb), Clock::now()});
+    pending_.push_back({std::move(cb), now, shed_at});
     ++accepted_;
   }
   cv_.notify_one();
@@ -105,6 +115,7 @@ BatcherStats DynamicBatcher::stats() const {
     s.accepted = accepted_;
     s.rejected = rejected_;
     s.completed = completed_;
+    s.deadline_exceeded = deadline_exceeded_;
     s.batches = batches_;
     s.queue_depth = depth_locked();
     s.in_flight = in_flight_;
@@ -134,8 +145,9 @@ void DynamicBatcher::dispatcher_main(std::size_t index) {
   const std::size_t dim = model_->input_dim();
   const std::size_t out_dim = model_->output_dim();
 
-  std::vector<double> batch_x;      // carved rows, contiguous row-major
+  std::vector<double> batch_x;      // carved live rows, contiguous row-major
   std::vector<Pending> batch_meta;  // their callbacks, same order
+  std::vector<Pending> shed_meta;   // carved rows whose deadline has passed
   std::vector<std::uint32_t> out;   // flush output, reused across flushes
 
   std::unique_lock<std::mutex> lk(m_);
@@ -145,27 +157,40 @@ void DynamicBatcher::dispatcher_main(std::size_t index) {
       if (stop_) return;  // drained: every accepted request was flushed
       continue;
     }
-    // Flush decision: size trigger, deadline trigger, or shutdown drain.
+    // Flush decision: size trigger, deadline trigger, shutdown drain — or
+    // the front request's shed deadline, so an expired request is answered
+    // kDeadlineExceeded promptly instead of parking until max_wait.
     if (depth_locked() < opts_.max_batch && !stop_) {
-      const auto deadline = pending_[head_].enqueued + opts_.max_wait;
-      if (Clock::now() < deadline) {
+      const auto flush_at = std::min(pending_[head_].enqueued + opts_.max_wait,
+                                     pending_[head_].deadline);
+      if (Clock::now() < flush_at) {
         // Sleep until the oldest request's deadline; a submit that reaches
         // the size trigger (or shutdown) notifies and re-evaluates sooner.
-        cv_.wait_until(lk, deadline);
+        cv_.wait_until(lk, flush_at);
         continue;
       }
     }
 
     // Carve up to max_batch rows off the queue front while holding the lock
     // (memcpy of doubles + callback moves; the inference runs unlocked).
-    // The carve only advances head_; compaction below is amortized O(1)/row.
+    // Rows whose shed deadline has passed are split off here — they never
+    // reach the Session — and the carve only advances head_; compaction
+    // below is amortized O(1)/row.
     const std::size_t take = std::min(depth_locked(), opts_.max_batch);
     const auto now = Clock::now();
-    const auto x_first = pending_x_.begin() + static_cast<std::ptrdiff_t>(head_ * dim);
-    batch_x.assign(x_first, x_first + static_cast<std::ptrdiff_t>(take * dim));
-    const auto m_first = pending_.begin() + static_cast<std::ptrdiff_t>(head_);
-    batch_meta.assign(std::make_move_iterator(m_first),
-                      std::make_move_iterator(m_first + static_cast<std::ptrdiff_t>(take)));
+    batch_x.clear();
+    batch_meta.clear();
+    shed_meta.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      Pending& p = pending_[head_ + i];
+      if (p.deadline <= now) {
+        shed_meta.push_back(std::move(p));
+        continue;
+      }
+      const auto row = pending_x_.begin() + static_cast<std::ptrdiff_t>((head_ + i) * dim);
+      batch_x.insert(batch_x.end(), row, row + static_cast<std::ptrdiff_t>(dim));
+      batch_meta.push_back(std::move(p));
+    }
     head_ += take;
     if (head_ == pending_.size()) {
       pending_.clear();
@@ -186,15 +211,28 @@ void DynamicBatcher::dispatcher_main(std::size_t index) {
       }
       wait_next_ = (wait_next_ + 1) % kWaitWindow;
     }
-    ++batches_;
-    ++in_flight_;
+    const std::size_t live = batch_meta.size();
+    deadline_exceeded_ += shed_meta.size();
+    if (live > 0) {
+      ++batches_;
+      ++in_flight_;
+    }
     const bool more = depth_locked() > 0;
     lk.unlock();
     // Rows still pending (a burst larger than max_batch): hand them to a
     // sibling dispatcher so micro-batches overlap instead of queueing.
     if (more) cv_.notify_one();
 
-    out.resize(take * out_dim);
+    // Shed requests first: their callers' budgets are already gone, and the
+    // answer must not queue behind a whole batch's inference.
+    for (Pending& p : shed_meta) p.cb(Status::kDeadlineExceeded, {});
+    shed_meta.clear();
+    if (live == 0) {
+      lk.lock();
+      continue;
+    }
+
+    out.resize(live * out_dim);
     Status status = Status::kOk;
     try {
       session.forward_bits_into(runtime::BatchView(batch_x, dim), out);
@@ -208,10 +246,10 @@ void DynamicBatcher::dispatcher_main(std::size_t index) {
     // callback/future (tests, a client that saw its response) must find the
     // counters already consistent in stats().
     lk.lock();
-    completed_ += take;
+    completed_ += live;
     --in_flight_;
     lk.unlock();
-    for (std::size_t i = 0; i < take; ++i) {
+    for (std::size_t i = 0; i < live; ++i) {
       if (status == Status::kOk) {
         batch_meta[i].cb(status,
                          std::span<const std::uint32_t>(out).subspan(i * out_dim, out_dim));

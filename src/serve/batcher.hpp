@@ -18,6 +18,16 @@
 // bound (reject-at-admission keeps the tail latency of *accepted* requests
 // bounded by max_wait + one batch's service time).
 //
+// Requests may carry a DEADLINE (the protocol-v3 budget, converted to a
+// steady-clock instant at decode): a request whose deadline passes while it
+// is still queued is shed at carve time with Status::kDeadlineExceeded —
+// its rows never reach a Session, so an already-too-late request cannot
+// burn inference work that an in-budget request is waiting for. A request
+// whose deadline passes mid-inference is NOT cancelled (the batch is
+// already on a core; aborting it would cost more than finishing), so the
+// shed guarantee is strictly about queue time. Sheds are counted in
+// BatcherStats::deadline_exceeded.
+//
 // With dispatchers >= 2, consecutive micro-batches overlap in flight and may
 // complete out of order; completion is per-request (callback or future), so
 // ordering never leaks into correctness — enforced by
@@ -37,6 +47,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -79,6 +90,7 @@ struct BatcherStats {
   std::uint64_t accepted = 0;   ///< admitted into the queue
   std::uint64_t rejected = 0;   ///< refused at admission (queue full / shutdown)
   std::uint64_t completed = 0;  ///< rows flushed through a Session
+  std::uint64_t deadline_exceeded = 0;  ///< shed: deadline expired while queued
   std::uint64_t batches = 0;    ///< micro-batches dispatched
   std::size_t queue_depth = 0;  ///< rows pending right now (gauge)
   std::size_t in_flight = 0;    ///< micro-batches being served right now (gauge)
@@ -107,13 +119,17 @@ class DynamicBatcher {
   const runtime::Model& model() const { return *model_; }
   const BatcherOptions& options() const { return opts_; }
 
+  /// A request's absolute shed deadline (steady clock); nullopt = none.
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
   /// Admit one sample (x.size() must equal model().input_dim(); anything
   /// else throws std::invalid_argument — dimension checking of untrusted
   /// input belongs to the caller, e.g. the Server, which maps it to
   /// kBadRequest). The sample is copied into the staging buffer; `cb` fires
   /// exactly once. Rejections (queue full, shutdown) invoke `cb` inline
-  /// before submit returns.
-  void submit(std::span<const double> x, Callback cb);
+  /// before submit returns — as does an already-expired `deadline`, which
+  /// completes with kDeadlineExceeded without ever occupying queue space.
+  void submit(std::span<const double> x, Callback cb, Deadline deadline = std::nullopt);
 
   /// Future-flavoured submit for callers without a completion loop.
   std::future<Reply> submit(std::span<const double> x);
@@ -135,6 +151,9 @@ class DynamicBatcher {
   struct Pending {
     Callback cb;
     std::chrono::steady_clock::time_point enqueued;
+    // Shed bound; time_point::max() = no deadline (cheaper to compare than
+    // an optional in the carve loop).
+    std::chrono::steady_clock::time_point deadline;
   };
 
   void dispatcher_main(std::size_t index);
@@ -158,6 +177,7 @@ class DynamicBatcher {
 
   // Stats (guarded by m_).
   std::uint64_t accepted_ = 0, rejected_ = 0, completed_ = 0, batches_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
   std::size_t in_flight_ = 0;
   std::vector<double> wait_window_;  // ring buffer of recent waits (us)
   std::size_t wait_next_ = 0;

@@ -66,7 +66,7 @@ Header parse_header(std::span<const std::uint8_t> b) {
   if (get_u32(b, 0) != kFrameMagic) throw ProtocolError("serve protocol: bad magic");
   Header h;
   h.version = b[4];
-  if (h.version != kProtocolV1 && h.version != kProtocolV2) {
+  if (h.version != kProtocolV1 && h.version != kProtocolV2 && h.version != kProtocolV3) {
     throw ProtocolError("serve protocol: unsupported version " + std::to_string(h.version));
   }
   const std::uint8_t type = b[5];
@@ -88,9 +88,18 @@ Header parse_header(std::span<const std::uint8_t> b) {
   return h;
 }
 
-/// Offset of the payload, given the version and (v2) name length.
+/// Bytes between the fixed header and the name-length byte: v3 inserts the
+/// deadline-budget field there; v1/v2 have nothing (v1 has no name block at
+/// all). Factoring the offsets this way keeps all four reader paths in
+/// agreement about where each version's fields live.
+std::size_t pre_name_bytes(const Header& h) {
+  return h.version == kProtocolV3 ? kDeadlineBytes : 0;
+}
+
+/// Offset of the payload, given the version and (v2/v3) name length.
 std::size_t payload_offset(const Header& h, std::size_t name_len) {
-  return h.version == kProtocolV2 ? kHeaderBytes + 1 + name_len : kHeaderBytes;
+  if (h.version == kProtocolV1) return kHeaderBytes;
+  return kHeaderBytes + pre_name_bytes(h) + 1 + name_len;
 }
 
 std::size_t checked_name_len(std::uint8_t len) {
@@ -110,6 +119,8 @@ const char* to_string(Status s) {
     case Status::kBadRequest: return "bad-request";
     case Status::kNotFound: return "not-found";
     case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
+    case Status::kTimeout: return "timeout";
   }
   return "unknown";
 }
@@ -121,12 +132,16 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) {
 }
 
 std::vector<std::uint8_t> encode(const Frame& frame) {
-  if (frame.version != kProtocolV1 && frame.version != kProtocolV2) {
+  if (frame.version != kProtocolV1 && frame.version != kProtocolV2 &&
+      frame.version != kProtocolV3) {
     throw ProtocolError("serve protocol: cannot encode unknown version " +
                         std::to_string(frame.version));
   }
   if (frame.version == kProtocolV1 && !frame.model.empty()) {
     throw ProtocolError("serve protocol: a v1 frame cannot carry a model name");
+  }
+  if (frame.version != kProtocolV3 && frame.deadline_us != 0) {
+    throw ProtocolError("serve protocol: only a v3 frame can carry a deadline budget");
   }
   if (frame.model.size() > kMaxModelNameBytes) {
     throw ProtocolError("serve protocol: model name exceeds kMaxModelNameBytes");
@@ -135,7 +150,10 @@ std::vector<std::uint8_t> encode(const Frame& frame) {
   if (payload_bytes > kMaxPayloadBytes) {
     throw ProtocolError("serve protocol: payload exceeds kMaxPayloadBytes");
   }
-  const std::size_t name_block = frame.version == kProtocolV2 ? 1 + frame.model.size() : 0;
+  const std::size_t name_block =
+      frame.version == kProtocolV1
+          ? 0
+          : (frame.version == kProtocolV3 ? kDeadlineBytes : 0) + 1 + frame.model.size();
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderBytes + name_block + payload_bytes + kTrailerBytes);
   put_u32(out, kFrameMagic);
@@ -144,7 +162,8 @@ std::vector<std::uint8_t> encode(const Frame& frame) {
   put_u16(out, static_cast<std::uint16_t>(frame.status));
   put_u64(out, frame.request_id);
   put_u32(out, static_cast<std::uint32_t>(payload_bytes));
-  if (frame.version == kProtocolV2) {
+  if (frame.version == kProtocolV3) put_u64(out, frame.deadline_us);
+  if (frame.version != kProtocolV1) {
     out.push_back(static_cast<std::uint8_t>(frame.model.size()));
     out.insert(out.end(), frame.model.begin(), frame.model.end());
   }
@@ -159,11 +178,12 @@ Frame decode(std::span<const std::uint8_t> bytes) {
   }
   const Header h = parse_header(bytes);
   std::size_t name_len = 0;
-  if (h.version == kProtocolV2) {
-    if (bytes.size() < kHeaderBytes + 1 + kTrailerBytes) {
-      throw ProtocolError("serve protocol: truncated v2 frame (no name block)");
+  if (h.version != kProtocolV1) {
+    const std::size_t name_len_at = kHeaderBytes + pre_name_bytes(h);
+    if (bytes.size() < name_len_at + 1 + kTrailerBytes) {
+      throw ProtocolError("serve protocol: truncated frame (no name block)");
     }
-    name_len = checked_name_len(bytes[kHeaderBytes]);
+    name_len = checked_name_len(bytes[name_len_at]);
   }
   const std::size_t at = payload_offset(h, name_len);
   if (bytes.size() != at + h.payload_bytes + kTrailerBytes) {
@@ -178,8 +198,10 @@ Frame decode(std::span<const std::uint8_t> bytes) {
   frame.type = h.type;
   frame.status = h.status;
   frame.request_id = h.request_id;
+  if (h.version == kProtocolV3) frame.deadline_us = get_u64(bytes, kHeaderBytes);
   if (name_len > 0) {
-    frame.model.assign(reinterpret_cast<const char*>(bytes.data()) + kHeaderBytes + 1,
+    frame.model.assign(reinterpret_cast<const char*>(bytes.data()) + kHeaderBytes +
+                           pre_name_bytes(h) + 1,
                        name_len);
   }
   frame.payload.resize(h.payload_bytes / 4);
@@ -196,9 +218,10 @@ std::optional<Frame> try_extract(std::span<const std::uint8_t> bytes, std::size_
   // not stall the connection waiting for a length it promised.
   const Header h = parse_header(bytes);
   std::size_t name_len = 0;
-  if (h.version == kProtocolV2) {
-    if (bytes.size() < kHeaderBytes + 1) return std::nullopt;
-    name_len = checked_name_len(bytes[kHeaderBytes]);
+  if (h.version != kProtocolV1) {
+    const std::size_t name_len_at = kHeaderBytes + pre_name_bytes(h);
+    if (bytes.size() < name_len_at + 1) return std::nullopt;
+    name_len = checked_name_len(bytes[name_len_at]);
   }
   const std::size_t total = payload_offset(h, name_len) + h.payload_bytes + kTrailerBytes;
   if (bytes.size() < total) return std::nullopt;
@@ -220,15 +243,17 @@ std::optional<Frame> read_frame(FdStream& stream) {
   const Header h = parse_header(header);
   std::vector<std::uint8_t> frame_bytes(header.begin(), header.end());
   std::size_t name_len = 0;
-  if (h.version == kProtocolV2) {
-    std::uint8_t len_byte = 0;
-    if (!stream.read_exact(&len_byte, 1)) {
+  if (h.version != kProtocolV1) {
+    // v2: one name-length byte; v3: the deadline budget first, then it.
+    std::array<std::uint8_t, kDeadlineBytes + 1> pre;
+    const std::size_t pre_len = pre_name_bytes(h) + 1;
+    if (!stream.read_exact(pre.data(), pre_len)) {
       throw TransportError("serve transport: stream ended mid-frame");
     }
-    frame_bytes.push_back(len_byte);
-    name_len = checked_name_len(len_byte);
+    frame_bytes.insert(frame_bytes.end(), pre.begin(), pre.begin() + pre_len);
+    name_len = checked_name_len(pre[pre_len - 1]);
   }
-  const std::size_t rest = (h.version == kProtocolV2 ? name_len : 0) + h.payload_bytes +
+  const std::size_t rest = (h.version == kProtocolV1 ? 0 : name_len) + h.payload_bytes +
                            kTrailerBytes;
   const std::size_t have = frame_bytes.size();
   frame_bytes.resize(have + rest);

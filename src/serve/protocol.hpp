@@ -3,7 +3,7 @@
 // carrying sample payloads as raw network-format bit patterns (posit /
 // minifloat / fixed — whatever the served Model was quantized to).
 //
-// Two frame versions are live (full byte tables in docs/serving.md):
+// Three frame versions are live (full byte tables in docs/serving.md):
 //
 //   v1 — the original single-model frame:
 //
@@ -33,6 +33,25 @@
 // is the demux key and needs no name — so a v1-only client never sees a v2
 // byte no matter what the server is doing.
 //
+//   v3 — v2 plus a CRC-covered deadline budget between the fixed header and
+//   the name block (v1 and v2 encodings are pinned unchanged, byte for byte):
+//
+//     offset  size  field
+//     0..19         as v1, with version = 3 (kProtocolV3)
+//     20      8     deadline budget: microseconds REMAINING for this request
+//                   (u64 little-endian; 0 = no deadline)
+//     28      1     model name length M (0..kMaxModelNameBytes)
+//     29      M     model name
+//     29+M    N     payload
+//     29+M+N  4     CRC-32 over bytes [0, 29+M+N)
+//
+// The budget is relative, not an absolute wall-clock instant, so it survives
+// clock skew between peers: the server converts it to a steady-clock
+// deadline the moment the frame is decoded, and a request whose budget
+// expires while queued is shed with kDeadlineExceeded instead of burning a
+// dispatcher slot (serve/batcher.hpp). A zero budget means "no deadline" —
+// such a frame is routed exactly like a v2 frame.
+//
 // A request payload is the input sample, one pattern per feature, already
 // quantized into the target model's format (Client::send does this with
 // Format::from_double — round-to-nearest-even is idempotent on representable
@@ -60,6 +79,9 @@ namespace dp::serve {
 
 inline constexpr std::uint8_t kProtocolV1 = 1;  ///< single-model frames
 inline constexpr std::uint8_t kProtocolV2 = 2;  ///< + model-name routing block
+inline constexpr std::uint8_t kProtocolV3 = 3;  ///< + deadline-budget field
+/// Size of the v3 deadline-budget field (u64 microseconds remaining).
+inline constexpr std::size_t kDeadlineBytes = 8;
 inline constexpr std::uint32_t kFrameMagic = 0x56535044u;  // "DPSV" little-endian
 inline constexpr std::size_t kHeaderBytes = 20;
 inline constexpr std::size_t kTrailerBytes = 4;  // the CRC
@@ -87,15 +109,18 @@ class ProtocolError : public std::runtime_error {
 };
 
 /// One decoded frame. `payload` holds bit patterns: request = input features
-/// in the model's format, response = readout activations. `model` is the v2
-/// routing name; it must be empty on a v1 frame (encode enforces this), and
-/// decode leaves it empty for v1 input.
+/// in the model's format, response = readout activations. `model` is the
+/// v2/v3 routing name; it must be empty on a v1 frame (encode enforces
+/// this), and decode leaves it empty for v1 input. `deadline_us` is the v3
+/// deadline budget (microseconds remaining; 0 = none) — encode rejects a
+/// nonzero budget on a v1/v2 frame, so the older encodings cannot drift.
 struct Frame {
   std::uint8_t version = kProtocolV1;
   FrameType type = FrameType::kRequest;
   Status status = Status::kOk;
   std::uint64_t request_id = 0;
   std::string model;
+  std::uint64_t deadline_us = 0;
   std::vector<std::uint32_t> payload;
 
   bool operator==(const Frame&) const = default;
@@ -105,9 +130,11 @@ struct Frame {
 /// tests and for anyone implementing the protocol in another language.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
 
-/// Serialize a frame (header [+ name block] + payload + CRC trailer). Throws
-/// ProtocolError if the payload exceeds kMaxPayloadBytes, the name exceeds
-/// kMaxModelNameBytes, a v1 frame carries a name, or the version is unknown.
+/// Serialize a frame (header [+ deadline budget] [+ name block] + payload +
+/// CRC trailer). Throws ProtocolError if the payload exceeds
+/// kMaxPayloadBytes, the name exceeds kMaxModelNameBytes, a v1 frame carries
+/// a name, a v1/v2 frame carries a deadline budget, or the version is
+/// unknown.
 std::vector<std::uint8_t> encode(const Frame& frame);
 
 /// Parse one complete frame from `bytes` (which must be exactly one frame).

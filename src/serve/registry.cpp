@@ -208,6 +208,7 @@ std::optional<BatcherStats> ModelRegistry::stats(const std::string& name) const 
     total.accepted += lane.accepted;
     total.rejected += lane.rejected;
     total.completed += lane.completed;
+    total.deadline_exceeded += lane.deadline_exceeded;
     total.batches += lane.batches;
     total.queue_depth += lane.queue_depth;
     total.in_flight += lane.in_flight;

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "serve/fault_injection.hpp"
+
 namespace dp::serve {
 
 namespace {
@@ -103,6 +105,12 @@ Server::Server(std::unique_ptr<ModelRegistry> owned, ModelRegistry* external,
       max_write_queue_bytes_(opts.max_write_queue_bytes),
       max_connections_per_shard_(opts.max_connections_per_shard),
       max_inflight_per_connection_(opts.max_inflight_per_connection),
+      rate_limit_rps_(opts.rate_limit_rps),
+      rate_limit_burst_(opts.rate_limit_rps <= 0
+                            ? 0
+                            : std::max(1.0, opts.rate_limit_burst > 0 ? opts.rate_limit_burst
+                                                                      : opts.rate_limit_rps)),
+      chaos_(opts.chaos),
       start_(Clock::now()) {
   const std::size_t n = resolve_shards(opts.shards);
   shards_.reserve(n);
@@ -218,6 +226,7 @@ ServerStats Server::stats() const {
     s.not_found += c.not_found;
     s.dropped += c.dropped;
     s.overloaded += c.overloaded;
+    s.rate_limited += c.rate_limited;
     s.metrics_scrapes += c.metrics_scrapes;
   }
   if (const std::optional<BatcherStats> b = registry_->stats("")) s.batcher = *b;
@@ -263,6 +272,7 @@ std::string Server::metrics_text() const {
     append_counter(out, "dp_shard_not_found", label, s.not_found);
     append_counter(out, "dp_shard_dropped", label, s.dropped);
     append_counter(out, "dp_shard_overloaded", label, s.overloaded);
+    append_counter(out, "dp_shard_rate_limited", label, s.rate_limited);
     append_counter(out, "dp_shard_metrics_scrapes", label, s.metrics_scrapes);
   }
   for (const std::string& name : registry_->names()) {
@@ -272,6 +282,7 @@ std::string Server::metrics_text() const {
     append_counter(out, "dp_model_accepted", label, b->accepted);
     append_counter(out, "dp_model_rejected", label, b->rejected);
     append_counter(out, "dp_model_completed", label, b->completed);
+    append_counter(out, "dp_model_deadline_exceeded", label, b->deadline_exceeded);
     append_counter(out, "dp_model_batches", label, b->batches);
     append_counter(out, "dp_model_queue_depth", label, b->queue_depth);
     append_counter(out, "dp_model_in_flight", label, b->in_flight);
@@ -299,10 +310,18 @@ void Server::accept_from(Shard& sh, Transport& transport,
     FdStream stream = transport.accept();
     if (!stream.valid()) return;
     if (stopping_.load()) continue;  // refused: FdStream closes on destruction
+    if (chaos_ && !metrics_conn) {
+      // Fault injection: splice the injector's relay between this loop and
+      // the real peer, so every byte of the conversation can be sliced,
+      // delayed or reset under test control.
+      stream = chaos_->wrap(std::move(stream));
+    }
     stream.set_nonblocking(true);
     auto conn = std::make_shared<Conn>(std::move(stream));
     conn->owner = &sh;
     conn->last_progress = Clock::now();
+    conn->tokens = rate_limit_burst_;  // a fresh connection starts with a full bucket
+    conn->bucket_refill = conn->last_progress;
     if (metrics_conn) {
       // One-shot scrape: the page is queued now, the read side is
       // short-circuited, and the graceful-close path closes the connection
@@ -599,6 +618,7 @@ bool Server::drain_rbuf(Shard& sh, const std::shared_ptr<Conn>& conn) {
     sh.counters.bad_requests += tally.bad_requests;
     sh.counters.not_found += tally.not_found;
     sh.counters.overloaded += tally.overloaded;
+    sh.counters.rate_limited += tally.rate_limited;
     sh.counters.metrics_scrapes += tally.metrics;
   }
   if (!ok) return false;
@@ -649,6 +669,21 @@ void Server::handle_request(Shard& sh, const std::shared_ptr<Conn>& conn, Frame 
     enqueue_response(conn, id, Status::kOverloaded, {});
     return;
   }
+  if (rate_limit_rps_ > 0) {
+    // Per-connection token bucket: continuous refill at rate_limit_rps up to
+    // the burst capacity, one token per request frame. An empty bucket is a
+    // clean kOverloaded — no batcher, no queue space, no inference.
+    const auto now = Clock::now();
+    const double elapsed = std::chrono::duration<double>(now - conn->bucket_refill).count();
+    conn->bucket_refill = now;
+    conn->tokens = std::min(rate_limit_burst_, conn->tokens + elapsed * rate_limit_rps_);
+    if (conn->tokens < 1.0) {
+      ++tally.rate_limited;
+      enqueue_response(conn, id, Status::kOverloaded, {});
+      return;
+    }
+    conn->tokens -= 1.0;
+  }
   if (max_inflight_per_connection_ > 0 &&
       conn->outstanding.load() >= max_inflight_per_connection_) {
     ++tally.overloaded;
@@ -683,15 +718,30 @@ void Server::handle_request(Shard& sh, const std::shared_ptr<Conn>& conn, Frame 
   const num::Format& fmt = lease->model->format();
   sh.x_scratch.resize(dim);
   for (std::size_t i = 0; i < dim; ++i) sh.x_scratch[i] = fmt.to_double(frame.payload[i]);
+  // The v3 deadline budget is relative (microseconds remaining, so it
+  // survives clock skew); anchor it to OUR steady clock the moment the
+  // request enters the process. The batcher sheds it with kDeadlineExceeded
+  // if the instant passes while it is still queued.
+  DynamicBatcher::Deadline deadline;
+  if (frame.deadline_us > 0) {
+    deadline = Clock::now() + std::chrono::microseconds(frame.deadline_us);
+  }
   conn->outstanding.fetch_add(1);
   // Shard-private admission lane: no cross-shard contention on the submit
   // lock (lane() wraps modulo the entry's lane count, so an external
   // registry with fewer lanes than shards still routes correctly).
   lease->lane(sh.index).submit(
-      sh.x_scratch, [this, conn, id](Status status, std::span<const std::uint32_t> bits) {
+      sh.x_scratch,
+      [this, conn, id](Status status, std::span<const std::uint32_t> bits) {
         enqueue_response(conn, id, status, bits);
-        conn->outstanding.fetch_sub(1);
-      });
+        // Enqueue-then-decrement is the loop's close-check ordering contract.
+        // The last decrement must also wake the loop: if the loop flushed the
+        // response in the window between the two, it saw outstanding == 1 and
+        // parked with no events to wait for — without this wake a half-closed
+        // connection would never get its graceful close (EOF to the peer).
+        if (conn->outstanding.fetch_sub(1) == 1) wake(*conn->owner);
+      },
+      deadline);
 }
 
 void Server::enqueue_response(const std::shared_ptr<Conn>& conn, std::uint64_t id,
@@ -764,20 +814,83 @@ bool Server::flush_writes(Shard& sh, const std::shared_ptr<Conn>& conn) {
 // Client
 // ---------------------------------------------------------------------------
 
-std::uint64_t Client::send(std::span<const double> x) {
+std::uint64_t Client::send(std::span<const double> x) { return send(x, 0); }
+
+std::uint64_t Client::send(std::span<const double> x, std::uint64_t deadline_budget_us) {
   if (x.size() != model_->input_dim()) {
     throw std::invalid_argument("serve::Client: sample size != model input_dim");
   }
   Frame frame;
-  frame.version = model_name_.empty() ? kProtocolV1 : kProtocolV2;
+  // A deadline needs the v3 layout; otherwise keep the smallest frame that
+  // can route the request (v1 for the default entry, v2 for a named one).
+  frame.version = deadline_budget_us > 0 ? kProtocolV3
+                  : model_name_.empty() ? kProtocolV1
+                                        : kProtocolV2;
   frame.type = FrameType::kRequest;
   frame.request_id = next_id_++;
   frame.model = model_name_;
+  frame.deadline_us = deadline_budget_us;
   frame.payload.reserve(x.size());
   for (const double v : x) frame.payload.push_back(model_->format().from_double(v));
   write_frame(stream_, frame);
   awaiting_.insert(frame.request_id);
   return frame.request_id;
+}
+
+std::optional<std::chrono::steady_clock::time_point> Client::recv_deadline() const {
+  if (!opts_.recv_timeout) return std::nullopt;
+  return std::chrono::steady_clock::now() + *opts_.recv_timeout;
+}
+
+std::optional<Frame> Client::next_frame(
+    const std::optional<std::chrono::steady_clock::time_point>& deadline, bool& timed_out) {
+  timed_out = false;
+  for (;;) {
+    // Carve a complete frame off the internal buffer first: bytes already
+    // read must never be lost to a timeout.
+    const std::span<const std::uint8_t> avail(rbuf_.data() + rbuf_head_,
+                                              rbuf_.size() - rbuf_head_);
+    std::size_t consumed = 0;
+    if (std::optional<Frame> frame = try_extract(avail, consumed)) {
+      rbuf_head_ += consumed;
+      if (rbuf_head_ == rbuf_.size()) {
+        rbuf_.clear();
+        rbuf_head_ = 0;
+      }
+      return frame;
+    }
+    if (deadline) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= *deadline) {
+        timed_out = true;
+        return std::nullopt;
+      }
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(*deadline - now);
+      pollfd p{stream_.fd(), POLLIN, 0};
+      // +1: round the remaining wait up, or a sub-millisecond remainder
+      // becomes a zero-timeout spin.
+      const int rc = ::poll(&p, 1, static_cast<int>(left.count()) + 1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError("serve::Client: poll failed while waiting for a response");
+      }
+      if (rc == 0) continue;  // re-check the deadline at the top
+    }
+    // The fd is blocking; without a deadline this parks until bytes arrive,
+    // with one the poll above guaranteed something readable (data or EOF).
+    std::uint8_t chunk[4096];
+    const ssize_t n = stream_.read_some(chunk, sizeof(chunk));
+    if (n == 0) return std::nullopt;  // clean EOF
+    if (n > 0) rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+  }
+}
+
+std::optional<Frame> Client::receive_frame() {
+  bool timed_out = false;
+  std::optional<Frame> frame = next_frame(recv_deadline(), timed_out);
+  if (timed_out) throw TransportError("serve::Client: receive_frame timed out");
+  return frame;
 }
 
 Reply Client::receive(std::uint64_t id) {
@@ -789,8 +902,16 @@ Reply Client::receive(std::uint64_t id) {
   if (awaiting_.find(id) == awaiting_.end()) {
     throw std::invalid_argument("serve::Client: receive() for an id never sent or already received");
   }
+  const std::optional<std::chrono::steady_clock::time_point> deadline = recv_deadline();
   for (;;) {
-    std::optional<Frame> frame = read_frame(stream_);
+    bool timed_out = false;
+    std::optional<Frame> frame = next_frame(deadline, timed_out);
+    if (timed_out) {
+      // The id stays in awaiting_: the response may still arrive, and a
+      // later receive()/next_frame will buffer or return it. kTimeout never
+      // travels on the wire — it is this client's own verdict.
+      return Reply{Status::kTimeout, {}};
+    }
     if (!frame) throw TransportError("serve::Client: server closed the connection");
     if (frame->type != FrameType::kResponse) {
       throw ProtocolError("serve::Client: server sent a non-response frame");
@@ -811,8 +932,15 @@ std::string Client::metrics() {
   frame.type = FrameType::kMetricsRequest;
   frame.request_id = next_id_++;
   write_frame(stream_, frame);
+  const std::optional<std::chrono::steady_clock::time_point> deadline = recv_deadline();
   for (;;) {
-    std::optional<Frame> resp = read_frame(stream_);
+    bool timed_out = false;
+    std::optional<Frame> resp = next_frame(deadline, timed_out);
+    if (timed_out) {
+      // No Reply to carry kTimeout in: surface the expiry as a transport
+      // failure (the scrape may still land in rbuf_ later, harmlessly).
+      throw TransportError("serve::Client: metrics scrape timed out");
+    }
     if (!resp) throw TransportError("serve::Client: server closed the connection");
     if (resp->type != FrameType::kResponse) {
       throw ProtocolError("serve::Client: server sent a non-response frame");
@@ -866,14 +994,16 @@ int Client::predict(std::span<const double> x) {
 void Client::close() { stream_.shutdown_write(); }
 
 Client connect_tcp(std::uint16_t port, std::shared_ptr<const runtime::Model> model,
-                   std::string model_name) {
+                   std::string model_name, ClientOptions opts) {
   if (!model) throw std::invalid_argument("serve::connect_tcp: null model");
   if (model_name.size() > kMaxModelNameBytes) {
     // Catch the configuration mistake here, not as a ProtocolError from the
     // first send().
     throw std::invalid_argument("serve::connect_tcp: model name exceeds kMaxModelNameBytes");
   }
-  return Client(std::move(model), tcp_connect(port), std::move(model_name));
+  Client client(std::move(model), tcp_connect(port), std::move(model_name));
+  client.set_options(std::move(opts));
+  return client;
 }
 
 }  // namespace dp::serve

@@ -40,7 +40,15 @@
 //     budget gets kOverloaded for the excess instead of queue space;
 //   * max_write_queue_bytes / write_timeout — a connection whose write queue
 //     overflows, or makes no progress (peer stopped reading), is dropped and
-//     its remaining responses discarded.
+//     its remaining responses discarded;
+//   * rate_limit_rps — a per-connection token bucket; a request frame
+//     arriving with no token is answered kOverloaded without ever touching
+//     a batcher, so one chatty client cannot crowd the shared admission
+//     queues (metrics frames are exempt).
+//
+// Requests may carry a protocol-v3 deadline budget; the shard converts it
+// to a steady-clock instant at decode and the batcher sheds the request
+// with kDeadlineExceeded if it expires while still queued (batcher.hpp).
 //
 // Observability: Server::metrics_text() renders a plaintext page of
 // per-shard and per-model counters (format pinned in docs/serving.md).
@@ -88,6 +96,8 @@
 
 namespace dp::serve {
 
+class FaultInjector;  // serve/fault_injection.hpp
+
 struct ServerOptions {
   /// Batcher of the implicit "default" entry the single-model constructor
   /// creates. Ignored by the registry constructor (each registry entry
@@ -124,6 +134,21 @@ struct ServerOptions {
   /// metrics_text() to every connection and closes it — scrape with
   /// nc/curl, no protocol framing involved. Served by shard 0's loop.
   std::optional<std::uint16_t> metrics_port;
+  /// Per-connection token-bucket rate limit, in request frames per second.
+  /// A request frame arriving with no token left is answered kOverloaded
+  /// without ever touching a batcher, so one chatty client cannot crowd the
+  /// admission queues that every client shares. Metrics frames are exempt —
+  /// observability under overload is the point of scraping. 0 disables.
+  double rate_limit_rps = 0;
+  /// Token-bucket capacity (the burst a quiet connection may save up), in
+  /// frames. 0 resolves to rate_limit_rps; clamped to >= 1 so a conforming
+  /// client is never starved by a sub-1 bucket.
+  double rate_limit_burst = 0;
+  /// Fault injection (tests, bench_loadgen --chaos): every accepted request
+  /// connection is rewired through injector->wrap(), exposing the server to
+  /// short reads/writes, injected delays and mid-stream resets. nullptr in
+  /// production.
+  std::shared_ptr<FaultInjector> chaos;
 };
 
 /// Wire- and connection-level counters of ONE shard (Server::shard_stats();
@@ -137,6 +162,7 @@ struct ShardStats {
   std::uint64_t not_found = 0;       ///< v2 requests naming an unknown model
   std::uint64_t dropped = 0;         ///< connections dropped (stall / overflow / bad frame)
   std::uint64_t overloaded = 0;      ///< requests refused by admission control
+  std::uint64_t rate_limited = 0;    ///< requests refused by the token bucket
   std::uint64_t metrics_scrapes = 0; ///< metrics pages served (both flavours)
 };
 
@@ -153,6 +179,7 @@ struct ServerStats {
   std::uint64_t not_found = 0;
   std::uint64_t dropped = 0;
   std::uint64_t overloaded = 0;
+  std::uint64_t rate_limited = 0;
   std::uint64_t metrics_scrapes = 0;
 };
 
@@ -245,6 +272,8 @@ class Server {
     bool read_done = false;     // EOF seen (or reads abandoned during stop)
     bool reject = false;        // over the connection cap: answer kOverloaded
     bool raw = false;           // metrics scrape: wq holds raw text, not frames
+    double tokens = 0;          // rate-limit token bucket (loop thread only)
+    std::chrono::steady_clock::time_point bucket_refill{};  // last token top-up
     std::chrono::steady_clock::time_point last_progress{};  // write-stall clock
 
     // Write side — guarded by m (loop flushes, dispatcher callbacks append).
@@ -296,6 +325,7 @@ class Server {
     std::uint64_t bad_requests = 0;
     std::uint64_t not_found = 0;
     std::uint64_t overloaded = 0;
+    std::uint64_t rate_limited = 0;
     std::uint64_t metrics = 0;
   };
 
@@ -317,6 +347,9 @@ class Server {
   const std::size_t max_write_queue_bytes_;
   const std::size_t max_connections_per_shard_;
   const std::size_t max_inflight_per_connection_;
+  const double rate_limit_rps_;
+  const double rate_limit_burst_;  // resolved capacity (>= 1 when limiting)
+  const std::shared_ptr<FaultInjector> chaos_;  // wraps accepted request conns
   const std::chrono::steady_clock::time_point start_;  // metrics uptime epoch
 
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -332,12 +365,32 @@ class Server {
   bool stop_called_ = false; // stop() ran end-to-end (it must always join loops)
 };
 
+/// Client-side knobs. serve::ResilientClient layers reconnect/retry policy
+/// on top of these; the plain Client stays a thin protocol speaker.
+struct ClientOptions {
+  /// When set, receive() waits at most this long for the response and then
+  /// returns Reply{Status::kTimeout} — the id stays receivable, so a late
+  /// response is still buffered for a later receive() on the same id.
+  /// metrics() and receive_frame() throw TransportError on expiry instead
+  /// (they have no Reply to carry the status in). Unset = wait forever, the
+  /// original blocking behaviour.
+  std::optional<std::chrono::milliseconds> recv_timeout;
+};
+
 /// The caller's end of one connection. Two usage styles:
 ///  * blocking round trip: forward_bits(x) / predict(x);
 ///  * pipelined: several send()s, then receive(id) in any order — responses
 ///    arriving for other ids are buffered until their receive().
 class Client {
  public:
+  /// Adopt an already-connected stream (Server::connect() and connect_tcp()
+  /// are the usual front doors; this is for callers that dialed themselves —
+  /// e.g. through a FaultInjector). `model` must describe the entry requests
+  /// route to; an empty `model_name` speaks v1 to the default entry.
+  Client(std::shared_ptr<const runtime::Model> model, FdStream stream, std::string model_name)
+      : model_(std::move(model)), stream_(std::move(stream)),
+        model_name_(std::move(model_name)) {}
+
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
   Client(const Client&) = delete;
@@ -349,16 +402,27 @@ class Client {
   /// server's default entry (v1 frames).
   const std::string& model_name() const { return model_name_; }
 
+  const ClientOptions& options() const { return opts_; }
+  void set_options(ClientOptions opts) { opts_ = std::move(opts); }
+
   /// Quantize `x` into the target model's format (the wire carries raw bit
   /// patterns, docs/serving.md), frame it (v1, or v2 when a model name is
   /// attached), write it. Returns the request id. Throws
   /// std::invalid_argument unless x.size() == the model input_dim.
   std::uint64_t send(std::span<const double> x);
 
+  /// send() carrying a v3 deadline budget: microseconds this request has
+  /// left, end to end. The server sheds it with kDeadlineExceeded if the
+  /// budget expires while it is still queued. 0 falls back to a plain v1/v2
+  /// frame (no deadline).
+  std::uint64_t send(std::span<const double> x, std::uint64_t deadline_budget_us);
+
   /// Block until the response for `id` arrives (buffering any other
-  /// responses seen meanwhile). Throws TransportError if the server goes
-  /// away first, std::invalid_argument for an id never sent or already
-  /// received.
+  /// responses seen meanwhile) — or, with ClientOptions::recv_timeout set,
+  /// until that much time passes, in which case the reply carries
+  /// Status::kTimeout and `id` stays receivable. Throws TransportError if
+  /// the server goes away first, std::invalid_argument for an id never sent
+  /// or already received.
   Reply receive(std::uint64_t id);
 
   /// Blocking round trip: readout bit patterns for one sample.
@@ -388,24 +452,36 @@ class Client {
     stream_.write_all(bytes.data(), bytes.size());
   }
 
-  /// Read the next frame off the wire; std::nullopt once the server closes.
-  std::optional<Frame> receive_frame() { return read_frame(stream_); }
+  /// Read the next frame off the wire (through the client's internal read
+  /// buffer, so it composes with receive()'s buffering); std::nullopt once
+  /// the server closes. Honours recv_timeout, throwing TransportError on
+  /// expiry.
+  std::optional<Frame> receive_frame();
 
   /// Half-close: tells the server this client is done sending.
   void close();
 
  private:
   friend class Server;
+  friend class ResilientClient;
   friend Client connect_tcp(std::uint16_t port, std::shared_ptr<const runtime::Model> model,
-                            std::string model_name);
-  Client(std::shared_ptr<const runtime::Model> model, FdStream stream, std::string model_name)
-      : model_(std::move(model)), stream_(std::move(stream)),
-        model_name_(std::move(model_name)) {}
+                            std::string model_name, ClientOptions opts);
+
+  /// Framed read through rbuf_: returns the next frame, nullopt on clean
+  /// EOF; on `deadline` expiry sets `timed_out` and returns nullopt without
+  /// consuming anything (a partial frame stays buffered for the next call).
+  std::optional<Frame> next_frame(
+      const std::optional<std::chrono::steady_clock::time_point>& deadline, bool& timed_out);
+  /// The receive deadline implied by opts_.recv_timeout, anchored at now.
+  std::optional<std::chrono::steady_clock::time_point> recv_deadline() const;
 
   std::shared_ptr<const runtime::Model> model_;
   FdStream stream_;
   std::string model_name_;
+  ClientOptions opts_;
   std::uint64_t next_id_ = 1;
+  std::vector<std::uint8_t> rbuf_;  // bytes read but not yet framed
+  std::size_t rbuf_head_ = 0;       // parsed-prefix offset into rbuf_
   std::map<std::uint64_t, Reply> buffered_;  // out-of-order responses parked here
   std::set<std::uint64_t> awaiting_;         // sent, not yet received
 };
@@ -418,6 +494,6 @@ class Client {
 /// default entry over protocol v1; a name routes over v2, and a name the
 /// server doesn't know earns kNotFound replies, not a connect error.
 Client connect_tcp(std::uint16_t port, std::shared_ptr<const runtime::Model> model,
-                   std::string model_name = "");
+                   std::string model_name = "", ClientOptions opts = {});
 
 }  // namespace dp::serve

@@ -240,5 +240,72 @@ TEST(ServeBatcher, OverlappingMicroBatchesCompleteOutOfOrderPerRequest) {
       << "lone micro-batch never completed while the big one was in flight";
 }
 
+TEST(ServeBatcher, ExpiredDeadlineIsShedInlineWithoutQueueing) {
+  const auto model = small_model();
+  DynamicBatcher batcher(model);
+  const std::vector<double> x = random_rows(1, model->input_dim(), 5);
+
+  // Dead on arrival: the deadline already passed, so the callback fires
+  // inline with kDeadlineExceeded and the request never occupies the queue.
+  std::promise<Reply> promise;
+  std::future<Reply> fut = promise.get_future();
+  batcher.submit(
+      x,
+      [&promise](Status s, std::span<const std::uint32_t> bits) {
+        promise.set_value(Reply{s, {bits.begin(), bits.end()}});
+      },
+      std::chrono::steady_clock::now() - 1ms);
+  ASSERT_EQ(fut.wait_for(0s), std::future_status::ready) << "DOA shed must be inline";
+  const Reply reply = fut.get();
+  EXPECT_EQ(reply.status, Status::kDeadlineExceeded);
+  EXPECT_TRUE(reply.bits.empty());
+
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ServeBatcher, DeadlineExpiringWhileQueuedIsShedBeforeTheSession) {
+  const auto model = small_model();
+  BatcherOptions opts;
+  opts.max_batch = 64;   // size trigger never fires
+  opts.max_wait = 50ms;  // ...and the wait flush comes after the deadline
+  DynamicBatcher batcher(model, opts);
+  const std::vector<double> x = random_rows(1, model->input_dim(), 6);
+
+  // A deadline shorter than max_wait: the dispatcher must wake at the
+  // DEADLINE (not park until max_wait) and shed without running inference.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::future<Reply> doomed;
+  {
+    std::promise<Reply> promise;
+    doomed = promise.get_future();
+    auto shared = std::make_shared<std::promise<Reply>>(std::move(promise));
+    batcher.submit(
+        x,
+        [shared](Status s, std::span<const std::uint32_t> bits) {
+          shared->set_value(Reply{s, {bits.begin(), bits.end()}});
+        },
+        t0 + 10ms);
+  }
+  ASSERT_EQ(doomed.wait_for(5s), std::future_status::ready);
+  const Reply reply = doomed.get();
+  EXPECT_EQ(reply.status, Status::kDeadlineExceeded);
+  EXPECT_TRUE(reply.bits.empty());
+  // Shed promptly at the deadline, well before the 50ms wait flush.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 45ms);
+
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.completed, 0u) << "a shed request must never reach a Session";
+
+  // The batcher still serves in-budget requests afterwards.
+  std::future<Reply> ok = batcher.submit(x);
+  ASSERT_EQ(ok.wait_for(5s), std::future_status::ready);
+  EXPECT_EQ(ok.get().bits, direct_bits(model, x));
+}
+
 }  // namespace
 }  // namespace dp::serve

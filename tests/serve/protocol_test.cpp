@@ -1,10 +1,10 @@
-// Wire-protocol contract tests: encode/decode round trips for both frame
-// versions (v1 single-model, v2 with the model-name routing block), every
-// decode validation rule (magic, version, type, length bounds/alignment,
-// name bound, CRC), the published CRC-32 test vector, the incremental
-// try_extract used by the server's event loop, and framed blocking I/O over
-// the in-process socketpair transport (multiple frames, clean EOF, mid-frame
-// death).
+// Wire-protocol contract tests: encode/decode round trips for every frame
+// version (v1 single-model, v2 with the model-name routing block, v3 with
+// the deadline-budget field), every decode validation rule (magic, version,
+// type, length bounds/alignment, name bound, CRC), the published CRC-32 test
+// vector, the incremental try_extract used by the server's event loop, and
+// framed blocking I/O over the in-process socketpair transport (multiple
+// frames, clean EOF, mid-frame death).
 
 #include "serve/protocol.hpp"
 
@@ -30,6 +30,13 @@ Frame sample_v2_request() {
   Frame f = sample_request();
   f.version = kProtocolV2;
   f.model = "iris-posit8";
+  return f;
+}
+
+Frame sample_v3_request() {
+  Frame f = sample_v2_request();
+  f.version = kProtocolV3;
+  f.deadline_us = 0x0102030405060708ull;
   return f;
 }
 
@@ -108,7 +115,7 @@ TEST(ServeProtocol, DecodeRejectsBadMagicVersionTypeAndLengths) {
   }
   {  // unsupported version, CRC recomputed so only the version rule fires
     std::vector<std::uint8_t> bad = encode(req);
-    bad[4] = kProtocolV2 + 1;
+    bad[4] = kProtocolV3 + 1;
     refresh_crc(bad);
     EXPECT_THROW(decode(bad), ProtocolError);
   }
@@ -186,6 +193,90 @@ TEST(ServeProtocol, EncodeRejectsIllegalVersionNameCombinations) {
     Frame bad = sample_request();
     bad.version = 7;
     EXPECT_THROW(encode(bad), ProtocolError);
+  }
+}
+
+TEST(ServeProtocol, V3EncodeDecodeRoundTripsDeadlineBudget) {
+  const Frame req = sample_v3_request();
+  EXPECT_EQ(decode(encode(req)), req);
+
+  // Zero budget ("no deadline") and empty name are both legal in v3.
+  Frame bare = req;
+  bare.deadline_us = 0;
+  bare.model.clear();
+  EXPECT_EQ(decode(encode(bare)), bare);
+}
+
+TEST(ServeProtocol, V3FrameLayoutMatchesSpec) {
+  // Pin the v3 byte-level layout documented in docs/serving.md: identical to
+  // v1 through offset 19, then the 8-byte deadline budget (u64 LE), then the
+  // v2-style name block, then the payload, CRC last.
+  const Frame req = sample_v3_request();
+  const std::vector<std::uint8_t> bytes = encode(req);
+  const std::size_t name_len = req.model.size();
+  ASSERT_EQ(bytes.size(), kHeaderBytes + kDeadlineBytes + 1 + name_len +
+                              req.payload.size() * 4 + kTrailerBytes);
+  EXPECT_EQ(bytes[0], 'D');
+  EXPECT_EQ(bytes[4], kProtocolV3);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(FrameType::kRequest));
+  EXPECT_EQ(bytes[16], 20);    // payload length counts payload only
+  EXPECT_EQ(bytes[20], 0x08);  // deadline budget, little-endian u64
+  EXPECT_EQ(bytes[27], 0x01);
+  EXPECT_EQ(bytes[28], name_len);
+  EXPECT_EQ(bytes[29], 'i');  // "iris-posit8"
+  EXPECT_EQ(bytes[29 + name_len - 1], '8');
+  EXPECT_EQ(bytes[29 + name_len], 0x00);  // first payload pattern
+  EXPECT_EQ(bytes[29 + name_len + 4], 0x7f);
+  // CRC covers everything before it, deadline and name blocks included.
+  const std::uint32_t want = crc32(std::span(bytes).first(bytes.size() - 4));
+  EXPECT_EQ(bytes[bytes.size() - 4], want & 0xff);
+}
+
+TEST(ServeProtocol, V1AndV2EncodingsArePinnedUnchangedByV3) {
+  // The resilience work added v3 WITHOUT touching the older layouts: a
+  // deadline-free v1/v2 frame must encode to exactly the bytes it always
+  // did (no deadline field sneaking in), and a nonzero budget on them is an
+  // encode-time error, not a silent format drift.
+  const std::vector<std::uint8_t> v1 = encode(sample_request());
+  EXPECT_EQ(v1.size(), kHeaderBytes + 5 * 4 + kTrailerBytes);
+  EXPECT_EQ(v1[4], kProtocolV1);
+
+  const Frame v2f = sample_v2_request();
+  const std::vector<std::uint8_t> v2 = encode(v2f);
+  EXPECT_EQ(v2.size(), kHeaderBytes + 1 + v2f.model.size() + 5 * 4 + kTrailerBytes);
+  EXPECT_EQ(v2[kHeaderBytes], v2f.model.size());  // name length right after header
+
+  {  // v1 cannot carry a deadline budget
+    Frame bad = sample_request();
+    bad.deadline_us = 1;
+    EXPECT_THROW(encode(bad), ProtocolError);
+  }
+  {  // v2 cannot either
+    Frame bad = sample_v2_request();
+    bad.deadline_us = 1;
+    EXPECT_THROW(encode(bad), ProtocolError);
+  }
+}
+
+TEST(ServeProtocol, DecodeRejectsMalformedV3Frames) {
+  const std::vector<std::uint8_t> good = encode(sample_v3_request());
+  {  // truncated to the fixed header: deadline + name blocks missing
+    EXPECT_THROW(decode(std::span(good).first(kHeaderBytes + kTrailerBytes)),
+                 ProtocolError);
+  }
+  {  // truncated mid-payload: total length disagrees with the length fields
+    EXPECT_THROW(decode(std::span(good).first(good.size() - 3)), ProtocolError);
+  }
+  {  // a flipped deadline byte fails the CRC (the budget is covered)
+    std::vector<std::uint8_t> bad = good;
+    bad[kHeaderBytes + 2] ^= 0x10;
+    EXPECT_THROW(decode(bad), ProtocolError);
+  }
+  {  // oversize name length byte rejected before the CRC
+    std::vector<std::uint8_t> bad = good;
+    bad[kHeaderBytes + kDeadlineBytes] = kMaxModelNameBytes + 1;
+    refresh_crc(bad);
+    EXPECT_THROW(decode(bad), ProtocolError);
   }
 }
 

@@ -333,16 +333,18 @@ TEST(ShardServer, MetricsPageFieldSetIsPinned) {
   for (const char* base :
        {"dp_shard_connections", "dp_shard_frames_in", "dp_shard_frames_out",
         "dp_shard_bad_frames", "dp_shard_bad_requests", "dp_shard_not_found",
-        "dp_shard_dropped", "dp_shard_overloaded", "dp_shard_metrics_scrapes"}) {
+        "dp_shard_dropped", "dp_shard_overloaded", "dp_shard_rate_limited",
+        "dp_shard_metrics_scrapes"}) {
     for (const char* shard : {"0", "1"}) {
       const std::string key = std::string(base) + "{shard=\"" + shard + "\"}";
       EXPECT_TRUE(m.count(key)) << "missing per-shard metric " << key;
     }
   }
   for (const char* base :
-       {"dp_model_accepted", "dp_model_rejected", "dp_model_completed", "dp_model_batches",
-        "dp_model_queue_depth", "dp_model_in_flight", "dp_model_occupancy",
-        "dp_model_wait_p50_us", "dp_model_wait_p99_us", "dp_model_wait_p999_us"}) {
+       {"dp_model_accepted", "dp_model_rejected", "dp_model_completed",
+        "dp_model_deadline_exceeded", "dp_model_batches", "dp_model_queue_depth",
+        "dp_model_in_flight", "dp_model_occupancy", "dp_model_wait_p50_us",
+        "dp_model_wait_p99_us", "dp_model_wait_p999_us"}) {
     const std::string key = std::string(base) + "{model=\"default\"}";
     EXPECT_TRUE(m.count(key)) << "missing per-model metric " << key;
   }
