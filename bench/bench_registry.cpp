@@ -20,6 +20,11 @@
 //    network hops, no routing). The ratio quantifies what the TCP transport
 //    and multi-model routing layer cost end to end.
 //
+// Each registry model also reports its bytes-moved-to-ship column: the raw
+// "dpnet-quant" text artifact size vs the ".dpnetz" entropy-coded container
+// (bench_codec measures the codec itself; this is the operator's view of a
+// model rollout's wire cost).
+//
 // Usage: bench_registry [requests_per_client] [json_path|-]
 //          requests_per_client  per client thread (default 512)
 //          json_path            output JSON, "-" to disable (default BENCH_registry.json)
@@ -36,11 +41,14 @@
 #include <functional>
 #include <memory>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "codec/container.hpp"
 #include "core/percentile.hpp"
+#include "nn/io.hpp"
 #include "nn/mlp.hpp"
 #include "nn/quantize.hpp"
 #include "numeric/format.hpp"
@@ -70,6 +78,27 @@ struct ModelSpec {
   std::string name;
   num::Format format;
 };
+
+/// Bytes moved to ship one model artifact to this registry, both ways: the
+/// "dpnet-quant" text file a raw hot-reload pushes and the ".dpnetz"
+/// entropy-coded container (docs/compression.md) — the column that tells an
+/// operator what a fleet-wide model rollout costs on the wire.
+struct ShipBytes {
+  std::size_t text = 0;
+  std::size_t dpnetz = 0;
+  double ratio() const {
+    return dpnetz > 0 ? static_cast<double>(text) / static_cast<double>(dpnetz) : 0.0;
+  }
+};
+
+ShipBytes ship_bytes(const nn::QuantizedNetwork& q) {
+  ShipBytes s;
+  std::ostringstream text;
+  nn::save_quantized(text, q);
+  s.text = text.str().size();
+  s.dpnetz = codec::encode_network(q).size();
+  return s;
+}
 
 struct LatencyResult {
   std::string label;
@@ -171,8 +200,8 @@ RunResult run_clients(const std::vector<std::shared_ptr<const runtime::Model>>& 
 }
 
 void write_json(const std::string& path, std::size_t clients, std::size_t per_client,
-                const std::vector<ModelSpec>& specs, const RunResult& registry,
-                const RunResult& single) {
+                const std::vector<ModelSpec>& specs, const std::vector<ShipBytes>& ships,
+                const RunResult& registry, const RunResult& single) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -191,9 +220,12 @@ void write_json(const std::string& path, std::size_t clients, std::size_t per_cl
     const LatencyResult& lat = registry.per_model[m];
     std::fprintf(f,
                  "      {\"name\": \"%s\", \"format\": \"%s\", \"round_trip_p50_us\": %.2f, "
-                 "\"round_trip_p99_us\": %.2f, \"round_trip_mean_us\": %.2f}%s\n",
+                 "\"round_trip_p99_us\": %.2f, \"round_trip_mean_us\": %.2f, "
+                 "\"ship_bytes_text\": %zu, \"ship_bytes_dpnetz\": %zu, "
+                 "\"ship_ratio\": %.3f}%s\n",
                  specs[m].name.c_str(), specs[m].format.name().c_str(), lat.p50_us,
-                 lat.p99_us, lat.mean_us, m + 1 == specs.size() ? "" : ",");
+                 lat.p99_us, lat.mean_us, ships[m].text, ships[m].dpnetz, ships[m].ratio(),
+                 m + 1 == specs.size() ? "" : ",");
   }
   std::fprintf(f, "    ],\n");
   std::fprintf(f, "    \"requests\": %llu,\n",
@@ -243,9 +275,11 @@ int main(int argc, char** argv) {
   };
   std::vector<std::shared_ptr<const runtime::Model>> models;
   std::vector<std::string> labels;
+  std::vector<ShipBytes> ships;
   for (const ModelSpec& spec : specs) {
     models.push_back(runtime::Model::create(nn::quantize(net, spec.format)));
     labels.push_back(spec.name);
+    ships.push_back(ship_bytes(models.back()->network()));
   }
   const std::size_t dim = models[0]->input_dim();
   const std::size_t rows = 64;
@@ -272,11 +306,13 @@ int main(int argc, char** argv) {
       [&](std::size_t m) { return serve::connect_tcp(port, models[m], specs[m].name); },
       clients, per_client, refs, xs, rows);
 
-  std::printf("  %-18s  %10s  %10s  %10s\n", "model (over TCP)", "p50 us", "p99 us",
-              "mean us");
-  for (const LatencyResult& lat : reg.per_model) {
-    std::printf("  %-18s  %10.2f  %10.2f  %10.2f\n", lat.label.c_str(), lat.p50_us,
-                lat.p99_us, lat.mean_us);
+  std::printf("  %-18s  %10s  %10s  %10s  %8s  %9s  %6s\n", "model (over TCP)", "p50 us",
+              "p99 us", "mean us", "ship raw", "ship dpnz", "ratio");
+  for (std::size_t m = 0; m < reg.per_model.size(); ++m) {
+    const LatencyResult& lat = reg.per_model[m];
+    std::printf("  %-18s  %10.2f  %10.2f  %10.2f  %7zuB  %8zuB  %5.2fx\n",
+                lat.label.c_str(), lat.p50_us, lat.p99_us, lat.mean_us, ships[m].text,
+                ships[m].dpnetz, ships[m].ratio());
   }
   std::printf("  aggregate: %.1f requests/s across %zu models, bit-identical: %s\n\n",
               reg.requests_per_s, models.size(), reg.bit_identical ? "yes" : "NO <-- BUG");
@@ -299,7 +335,7 @@ int main(int argc, char** argv) {
   std::printf("  tcp+registry / socketpair+single throughput: %.2fx\n",
               single.requests_per_s > 0 ? reg.requests_per_s / single.requests_per_s : 0.0);
 
-  if (json_path != "-") write_json(json_path, clients, per_client, specs, reg, single);
+  if (json_path != "-") write_json(json_path, clients, per_client, specs, ships, reg, single);
 
   return reg.bit_identical && single.bit_identical ? 0 : 1;
 }

@@ -1,0 +1,104 @@
+#pragma once
+// The ".dpnetz" compressed model container: an entropy-coded, CRC-guarded
+// serialization of nn::QuantizedNetwork — what ships over links and flash
+// budgets that the raw "dpnet-quant" text format would blow
+// (docs/compression.md has the full byte table and tuning guide).
+//
+// Layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "DPNZ"
+//   4       1     container version = 1
+//   5       1     format kind (0 posit, 1 float, 2 fixed)
+//   6       1     format param a (posit n / float we / fixed n)
+//   7       1     format param b (posit es / float wf / fixed q)
+//   8       1     symbol width W in bits — must equal Format::total_bits()
+//   9       1     reserved, 0
+//   10      2     layer count L (1..kMaxLayers)
+//   12      ...   L layer sections (below), back to back
+//   end-4   4     CRC-32 over the decoded CONTENT: kind, params, width and
+//                 layer count (header bytes 5..11 sans reserved), then per
+//                 layer fan_out/fan_in (LE u32) + activation byte followed
+//                 by every weight pattern then every bias pattern as LE u32
+//
+// One layer section:
+//
+//   +0      4     fan_out
+//   +4      4     fan_in
+//   +8      1     activation (0 identity, 1 relu)
+//   +9      1     weights symbol model (1 adaptive, 2 static)
+//   +10     1     bias symbol model (1 adaptive, 2 static)
+//   +11     1     reserved, 0
+//   [static weights model only] 2 * context_count(W) bytes of probability
+//                 table (symbol_model.hpp)
+//   +..     4     weights coded length, then exactly that many coded bytes
+//   [static bias model only] probability table
+//   +..     4     bias coded length, then exactly that many coded bytes
+//
+// Per-layer symbol models are the point: each layer's weight tape is one
+// skewed distribution over regime/fraction structure, and the writer picks
+// adaptive or static (counted + header-shipped) PER SECTION. Small sections
+// are trial-encoded both ways and the smaller wins; long sections take the
+// adaptive model outright — its contexts converge within a small prefix, so
+// the counted table almost never pays for itself there, and skipping the
+// second trial keeps artifact encode above the 50 MB/s single-thread floor
+// (the exact rule is kStaticTrialMaxSymbols in container.cpp).
+//
+// The CRC is over the decoded content, not the coded bytes, so it certifies
+// the property the consumers actually need: the network that comes out —
+// format, shapes, activations and every pattern — is the network that went
+// in, bit for bit. (Covering the metadata is not optional: one flipped
+// format-param bit would otherwise reinterpret an unchanged pattern tape as
+// a different numeric format, silently.) decode_network never trusts the
+// input — every count, dimension and length is bounds-checked before any
+// allocation, and a truncated, bit-flipped or hostile-length container
+// throws (CodecError, a std::runtime_error) at the first bad byte; it
+// never over-reads (tests/codec/codec_adversarial_test.cpp, run under
+// ASan/TSan in CI).
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codec/range_coder.hpp"
+#include "nn/quantize.hpp"
+
+namespace dp::codec {
+
+inline constexpr std::array<std::uint8_t, 4> kDpnetzMagic = {'D', 'P', 'N', 'Z'};
+inline constexpr std::uint8_t kDpnetzVersion = 1;
+/// Admission bounds, enforced before allocation so hostile fields cannot
+/// balloon memory: layers, per-layer dimensions, per-layer element count.
+inline constexpr std::size_t kMaxLayers = 1024;
+inline constexpr std::size_t kMaxLayerDim = 1u << 20;
+inline constexpr std::size_t kMaxLayerElements = 1u << 26;
+
+/// Section symbol-model ids (byte +9/+10 of a layer section).
+inline constexpr std::uint8_t kModelAdaptive = 1;
+inline constexpr std::uint8_t kModelStatic = 2;
+
+/// True if `bytes` starts with the .dpnetz magic (the sniff
+/// nn::load_quantized and runtime::Model::load use to stay transparent).
+bool has_dpnetz_magic(std::span<const std::uint8_t> bytes);
+
+/// Serialize `net` into a .dpnetz container. Throws CodecError if a stored
+/// pattern has bits outside the format width (such a network could not
+/// round-trip bit-exactly).
+std::vector<std::uint8_t> encode_network(const nn::QuantizedNetwork& net);
+
+/// Parse a .dpnetz container back into the bit-identical QuantizedNetwork.
+/// Throws CodecError on any malformed, truncated or corrupted input.
+nn::QuantizedNetwork decode_network(std::span<const std::uint8_t> bytes);
+
+/// File/stream spellings (streams must be binary). The path overload writes
+/// atomically enough for our purposes: flush + error check, exactly like
+/// nn::save_quantized. Throws CodecError (and std::runtime_error for I/O).
+void save_compressed(std::ostream& os, const nn::QuantizedNetwork& net);
+void save_compressed(const std::string& path, const nn::QuantizedNetwork& net);
+nn::QuantizedNetwork load_compressed(std::istream& is);
+nn::QuantizedNetwork load_compressed(const std::string& path);
+
+}  // namespace dp::codec

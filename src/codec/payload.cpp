@@ -1,0 +1,70 @@
+#include "codec/payload.hpp"
+
+#include <string>
+
+#include "codec/symbol_model.hpp"
+
+namespace dp::codec {
+
+std::vector<std::uint32_t> encode_payload(std::span<const std::uint32_t> patterns,
+                                          int width) {
+  check_symbol_width(width);
+  std::vector<std::uint8_t> coded;
+  coded.reserve(patterns.size() + 8);
+  {
+    BitTreeModel model(width);
+    RangeEncoder enc(coded);
+    for (const std::uint32_t p : patterns) model.encode(enc, p);
+    enc.finish();
+  }
+  std::vector<std::uint32_t> block(kPayloadBlockHeaderWords + (coded.size() + 3) / 4, 0);
+  block[0] = static_cast<std::uint32_t>(patterns.size());
+  block[1] = static_cast<std::uint32_t>(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    block[kPayloadBlockHeaderWords + i / 4] |= static_cast<std::uint32_t>(coded[i])
+                                               << (8 * (i % 4));
+  }
+  return block;
+}
+
+std::vector<std::uint32_t> decode_payload(std::span<const std::uint32_t> block, int width,
+                                          std::size_t max_elements) {
+  check_symbol_width(width);
+  if (block.size() < kPayloadBlockHeaderWords) {
+    throw CodecError("codec: payload block shorter than its header");
+  }
+  const std::size_t elements = block[0];
+  const std::size_t coded_len = block[1];
+  if (elements > max_elements) {
+    throw CodecError("codec: payload block claims " + std::to_string(elements) +
+                     " elements, limit " + std::to_string(max_elements));
+  }
+  if (block.size() != kPayloadBlockHeaderWords + (coded_len + 3) / 4) {
+    throw CodecError("codec: payload block size disagrees with its coded length");
+  }
+  // Unpack the coded bytes; the trailing pad bytes must be zero so a block
+  // has exactly one valid encoding (no covert channel, no ambiguity).
+  std::vector<std::uint8_t> coded(coded_len);
+  for (std::size_t i = 0; i < coded_len; ++i) {
+    coded[i] = static_cast<std::uint8_t>(block[kPayloadBlockHeaderWords + i / 4] >>
+                                         (8 * (i % 4)));
+  }
+  const std::size_t padded = (coded_len + 3) / 4 * 4;
+  for (std::size_t i = coded_len; i < padded; ++i) {
+    if ((block[kPayloadBlockHeaderWords + i / 4] >> (8 * (i % 4)) & 0xffu) != 0) {
+      throw CodecError("codec: payload block padding not zero");
+    }
+  }
+  std::vector<std::uint32_t> patterns(elements);
+  BitTreeModel model(width);
+  RangeDecoder dec(coded);
+  for (std::uint32_t& p : patterns) p = model.decode(dec);
+  if (dec.consumed() != coded_len) {
+    // The encoder's output length is deterministic; a shorter read means the
+    // length field lied (extra trailing bytes could smuggle data past us).
+    throw CodecError("codec: payload block coded length disagrees with its content");
+  }
+  return patterns;
+}
+
+}  // namespace dp::codec

@@ -1,0 +1,55 @@
+#pragma once
+// Entropy-coded wire payload blocks — what a protocol-v4 frame carries when
+// its payload-encoding flag says "codec" (serve/protocol.hpp,
+// docs/compression.md).
+//
+// The serve protocol frames payloads as little-endian u32 words, and that
+// invariant (payload length % 4 == 0, CRC over the whole frame) is worth
+// keeping: every existing bound, CRC and fuzz test keeps protecting v4
+// frames for free. So a compressed payload is itself a u32-word block:
+//
+//   word 0      element count E (how many patterns the block decodes to)
+//   word 1      coded length C in BYTES (the exact range-coder output size)
+//   word 2..    ceil(C / 4) words holding the C coded bytes little-endian,
+//               zero-padded to the word boundary
+//
+// Each block is a fresh adaptive BitTreeModel + range coder run — no state
+// carries across frames, so frames stay independently decodable (retries,
+// reconnects and mixed raw/coded traffic on one connection all stay sound).
+// The symbol width is the served model's Format::total_bits(); both peers
+// already know it (the client quantizes with the model's format), so it
+// never travels.
+//
+// decode_payload never trusts the peer: E and C are bounds-checked against
+// the caller's limit and the block size before any allocation, padding must
+// be zero, and the range coder must consume exactly C bytes. Violations
+// throw CodecError at the first bad word. Whether a failed decode costs the
+// connection is the caller's policy — the server answers kBadRequest and
+// keeps the connection, since a CRC-valid frame with a bad block is a peer
+// bug, not stream desync.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/range_coder.hpp"
+
+namespace dp::codec {
+
+/// Fixed words before the coded bytes (element count + coded length).
+inline constexpr std::size_t kPayloadBlockHeaderWords = 2;
+
+/// Entropy-code `patterns` (each < 2^width) into a payload block.
+/// Throws CodecError on an out-of-width pattern.
+std::vector<std::uint32_t> encode_payload(std::span<const std::uint32_t> patterns,
+                                          int width);
+
+/// Decode a payload block back to exactly the original patterns.
+/// `max_elements` bounds the claimed element count before any allocation
+/// (callers pass the dimension they expect, or a protocol-level cap).
+/// Throws CodecError on any violation.
+std::vector<std::uint32_t> decode_payload(std::span<const std::uint32_t> block, int width,
+                                          std::size_t max_elements);
+
+}  // namespace dp::codec

@@ -1,0 +1,36 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) shared by the serve
+// wire protocol and the dp::codec container format. One table, one
+// implementation: serve::crc32 and the .dpnetz trailer must agree bit for
+// bit with every independent implementation (the adversarial protocol tests
+// pin this against a bitwise reference).
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dp::core {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) c = detail::kCrc32Table[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dp::core

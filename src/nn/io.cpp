@@ -1,10 +1,18 @@
 #include "nn/io.hpp"
 
+#include <array>
 #include <fstream>
 #include <iomanip>
 #include <limits>
+#include <span>
 #include <sstream>
 #include <stdexcept>
+
+// nn/io is the serialization facade: the compressed container itself lives
+// one layer up in codec/ (which consumes nn::QuantizedNetwork), and these
+// entry points forward to it so callers keep one header for every artifact
+// format (docs/architecture.md).
+#include "codec/container.hpp"
 
 namespace dp::nn {
 
@@ -186,9 +194,39 @@ QuantizedNetwork load_quantized(std::istream& is) {
 }
 
 QuantizedNetwork load_quantized(const std::string& path) {
+  // Sniff the first bytes: a .dpnetz container starts with its magic, the
+  // text format with "dpnet-quant". One loader serves both, so shipping a
+  // compressed artifact needs no caller changes anywhere above this.
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) throw std::runtime_error("dpnet: cannot open " + path);
+    std::array<char, 4> head{};
+    probe.read(head.data(), head.size());
+    if (probe.gcount() == static_cast<std::streamsize>(head.size()) &&
+        codec::has_dpnetz_magic(std::span(reinterpret_cast<const std::uint8_t*>(head.data()),
+                                          head.size()))) {
+      return codec::load_compressed(path);
+    }
+  }
   std::ifstream is(path);
   if (!is) throw std::runtime_error("dpnet: cannot open " + path);
   return load_quantized(is);
+}
+
+void save_quantized_compressed(std::ostream& os, const QuantizedNetwork& net) {
+  codec::save_compressed(os, net);
+}
+
+void save_quantized_compressed(const std::string& path, const QuantizedNetwork& net) {
+  codec::save_compressed(path, net);
+}
+
+QuantizedNetwork load_quantized_compressed(std::istream& is) {
+  return codec::load_compressed(is);
+}
+
+QuantizedNetwork load_quantized_compressed(const std::string& path) {
+  return codec::load_compressed(path);
 }
 
 }  // namespace dp::nn

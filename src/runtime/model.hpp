@@ -71,10 +71,13 @@ class Model {
   static std::shared_ptr<const Model> create(nn::QuantizedNetwork network,
                                              ForwardPath path = ForwardPath::kFused);
 
-  /// The deployment spelling: reload a "dpnet-quant" file (written by
-  /// nn::save_quantized) straight into a shared Model — quantize offline,
-  /// ship the file, hot-load it into a serve::ModelRegistry
-  /// (docs/deployment.md). Throws std::runtime_error on malformed input.
+  /// The deployment spelling: reload a shipped artifact straight into a
+  /// shared Model — quantize offline, ship the file, hot-load it into a
+  /// serve::ModelRegistry (docs/deployment.md). Reads both artifact formats
+  /// transparently: the "dpnet-quant" text file (nn::save_quantized) and the
+  /// entropy-coded ".dpnetz" container (nn::save_quantized_compressed),
+  /// sniffed by magic — so shipping compressed weights changes nothing here
+  /// (docs/compression.md). Throws std::runtime_error on malformed input.
   static std::shared_ptr<const Model> load(const std::string& path,
                                            ForwardPath forward = ForwardPath::kFused);
 

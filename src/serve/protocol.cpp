@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "core/crc32.hpp"
+
 namespace dp::serve {
 
 namespace {
@@ -39,18 +41,6 @@ std::uint64_t get_u64(std::span<const std::uint8_t> b, std::size_t at) {
   return v;
 }
 
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    table[i] = c;
-  }
-  return table;
-}
-
-constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
-
 /// The validated fixed-header fields every reader needs before it can size
 /// the rest of the frame. Shared by decode / try_extract / read_frame so the
 /// three paths enforce exactly the same rules.
@@ -66,7 +56,8 @@ Header parse_header(std::span<const std::uint8_t> b) {
   if (get_u32(b, 0) != kFrameMagic) throw ProtocolError("serve protocol: bad magic");
   Header h;
   h.version = b[4];
-  if (h.version != kProtocolV1 && h.version != kProtocolV2 && h.version != kProtocolV3) {
+  if (h.version != kProtocolV1 && h.version != kProtocolV2 && h.version != kProtocolV3 &&
+      h.version != kProtocolV4) {
     throw ProtocolError("serve protocol: unsupported version " + std::to_string(h.version));
   }
   const std::uint8_t type = b[5];
@@ -89,14 +80,16 @@ Header parse_header(std::span<const std::uint8_t> b) {
 }
 
 /// Bytes between the fixed header and the name-length byte: v3 inserts the
-/// deadline-budget field there; v1/v2 have nothing (v1 has no name block at
-/// all). Factoring the offsets this way keeps all four reader paths in
-/// agreement about where each version's fields live.
+/// deadline-budget field there, v4 the deadline budget plus the
+/// payload-encoding byte; v1/v2 have nothing (v1 has no name block at all).
+/// Factoring the offsets this way keeps all four reader paths in agreement
+/// about where each version's fields live.
 std::size_t pre_name_bytes(const Header& h) {
+  if (h.version == kProtocolV4) return kDeadlineBytes + 1;
   return h.version == kProtocolV3 ? kDeadlineBytes : 0;
 }
 
-/// Offset of the payload, given the version and (v2/v3) name length.
+/// Offset of the payload, given the version and (v2+) name length.
 std::size_t payload_offset(const Header& h, std::size_t name_len) {
   if (h.version == kProtocolV1) return kHeaderBytes;
   return kHeaderBytes + pre_name_bytes(h) + 1 + name_len;
@@ -126,22 +119,31 @@ const char* to_string(Status s) {
 }
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (const std::uint8_t b : data) c = kCrcTable[(c ^ b) & 0xffu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
+  // One CRC-32 for the whole codebase: this is the same polynomial and
+  // reflection the .dpnetz container uses (core/crc32.hpp). The serve::
+  // spelling stays for wire-protocol implementers and existing tests.
+  return core::crc32(data);
 }
 
 std::vector<std::uint8_t> encode(const Frame& frame) {
   if (frame.version != kProtocolV1 && frame.version != kProtocolV2 &&
-      frame.version != kProtocolV3) {
+      frame.version != kProtocolV3 && frame.version != kProtocolV4) {
     throw ProtocolError("serve protocol: cannot encode unknown version " +
                         std::to_string(frame.version));
   }
   if (frame.version == kProtocolV1 && !frame.model.empty()) {
     throw ProtocolError("serve protocol: a v1 frame cannot carry a model name");
   }
-  if (frame.version != kProtocolV3 && frame.deadline_us != 0) {
-    throw ProtocolError("serve protocol: only a v3 frame can carry a deadline budget");
+  if (frame.version != kProtocolV3 && frame.version != kProtocolV4 &&
+      frame.deadline_us != 0) {
+    throw ProtocolError("serve protocol: only a v3/v4 frame can carry a deadline budget");
+  }
+  if (frame.version != kProtocolV4 && frame.payload_encoding != kPayloadEncodingRaw) {
+    throw ProtocolError("serve protocol: only a v4 frame can carry a payload encoding");
+  }
+  if (frame.payload_encoding > kPayloadEncodingCodec) {
+    throw ProtocolError("serve protocol: unknown payload encoding " +
+                        std::to_string(frame.payload_encoding));
   }
   if (frame.model.size() > kMaxModelNameBytes) {
     throw ProtocolError("serve protocol: model name exceeds kMaxModelNameBytes");
@@ -150,10 +152,12 @@ std::vector<std::uint8_t> encode(const Frame& frame) {
   if (payload_bytes > kMaxPayloadBytes) {
     throw ProtocolError("serve protocol: payload exceeds kMaxPayloadBytes");
   }
+  const bool has_deadline = frame.version == kProtocolV3 || frame.version == kProtocolV4;
   const std::size_t name_block =
       frame.version == kProtocolV1
           ? 0
-          : (frame.version == kProtocolV3 ? kDeadlineBytes : 0) + 1 + frame.model.size();
+          : (has_deadline ? kDeadlineBytes : 0) + (frame.version == kProtocolV4 ? 1 : 0) +
+                1 + frame.model.size();
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderBytes + name_block + payload_bytes + kTrailerBytes);
   put_u32(out, kFrameMagic);
@@ -162,7 +166,8 @@ std::vector<std::uint8_t> encode(const Frame& frame) {
   put_u16(out, static_cast<std::uint16_t>(frame.status));
   put_u64(out, frame.request_id);
   put_u32(out, static_cast<std::uint32_t>(payload_bytes));
-  if (frame.version == kProtocolV3) put_u64(out, frame.deadline_us);
+  if (has_deadline) put_u64(out, frame.deadline_us);
+  if (frame.version == kProtocolV4) out.push_back(frame.payload_encoding);
   if (frame.version != kProtocolV1) {
     out.push_back(static_cast<std::uint8_t>(frame.model.size()));
     out.insert(out.end(), frame.model.begin(), frame.model.end());
@@ -198,7 +203,16 @@ Frame decode(std::span<const std::uint8_t> bytes) {
   frame.type = h.type;
   frame.status = h.status;
   frame.request_id = h.request_id;
-  if (h.version == kProtocolV3) frame.deadline_us = get_u64(bytes, kHeaderBytes);
+  if (h.version == kProtocolV3 || h.version == kProtocolV4) {
+    frame.deadline_us = get_u64(bytes, kHeaderBytes);
+  }
+  if (h.version == kProtocolV4) {
+    frame.payload_encoding = bytes[kHeaderBytes + kDeadlineBytes];
+    if (frame.payload_encoding > kPayloadEncodingCodec) {
+      throw ProtocolError("serve protocol: unknown payload encoding " +
+                          std::to_string(frame.payload_encoding));
+    }
+  }
   if (name_len > 0) {
     frame.model.assign(reinterpret_cast<const char*>(bytes.data()) + kHeaderBytes +
                            pre_name_bytes(h) + 1,
@@ -244,8 +258,9 @@ std::optional<Frame> read_frame(FdStream& stream) {
   std::vector<std::uint8_t> frame_bytes(header.begin(), header.end());
   std::size_t name_len = 0;
   if (h.version != kProtocolV1) {
-    // v2: one name-length byte; v3: the deadline budget first, then it.
-    std::array<std::uint8_t, kDeadlineBytes + 1> pre;
+    // v2: one name-length byte; v3: the deadline budget first, then it; v4:
+    // budget, payload-encoding byte, then it.
+    std::array<std::uint8_t, kDeadlineBytes + 2> pre;
     const std::size_t pre_len = pre_name_bytes(h) + 1;
     if (!stream.read_exact(pre.data(), pre_len)) {
       throw TransportError("serve transport: stream ended mid-frame");

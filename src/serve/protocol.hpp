@@ -3,7 +3,7 @@
 // carrying sample payloads as raw network-format bit patterns (posit /
 // minifloat / fixed — whatever the served Model was quantized to).
 //
-// Three frame versions are live (full byte tables in docs/serving.md):
+// Four frame versions are live (full byte tables in docs/serving.md):
 //
 //   v1 — the original single-model frame:
 //
@@ -52,6 +52,30 @@
 // dispatcher slot (serve/batcher.hpp). A zero budget means "no deadline" —
 // such a frame is routed exactly like a v2 frame.
 //
+//   v4 — v3 plus a CRC-covered payload-encoding byte between the deadline
+//   budget and the name block (v1/v2/v3 encodings stay pinned, byte for
+//   byte):
+//
+//     offset  size  field
+//     0..19         as v1, with version = 4 (kProtocolV4)
+//     20      8     deadline budget (as v3)
+//     28      1     payload encoding (0 = raw patterns, 1 = entropy-coded
+//                   block, kPayloadEncoding*; anything else is rejected)
+//     29      1     model name length M
+//     30      M     model name
+//     30+M    N     payload
+//     30+M+N  4     CRC-32 over bytes [0, 30+M+N)
+//
+// Encoding 0 means the payload words are bit patterns exactly as in v1–v3.
+// Encoding 1 means they are a codec/payload.hpp block: element count, coded
+// byte length, then the range-coded bytes packed LE into u32 words — still
+// N % 4 == 0, still inside kMaxPayloadBytes, so every existing frame bound
+// and the CRC apply unchanged. Compression is negotiated PER FRAME: the
+// server answers a compressed request with a compressed (v4) response and a
+// raw request with a raw response, so a client opts in per request and a
+// fleet can roll over gradually (docs/compression.md). Error responses are
+// always plain v1 regardless of request encoding.
+//
 // A request payload is the input sample, one pattern per feature, already
 // quantized into the target model's format (Client::send does this with
 // Format::from_double — round-to-nearest-even is idempotent on representable
@@ -80,8 +104,12 @@ namespace dp::serve {
 inline constexpr std::uint8_t kProtocolV1 = 1;  ///< single-model frames
 inline constexpr std::uint8_t kProtocolV2 = 2;  ///< + model-name routing block
 inline constexpr std::uint8_t kProtocolV3 = 3;  ///< + deadline-budget field
-/// Size of the v3 deadline-budget field (u64 microseconds remaining).
+inline constexpr std::uint8_t kProtocolV4 = 4;  ///< + payload-encoding byte
+/// Size of the v3/v4 deadline-budget field (u64 microseconds remaining).
 inline constexpr std::size_t kDeadlineBytes = 8;
+/// Values of the v4 payload-encoding byte.
+inline constexpr std::uint8_t kPayloadEncodingRaw = 0;
+inline constexpr std::uint8_t kPayloadEncodingCodec = 1;
 inline constexpr std::uint32_t kFrameMagic = 0x56535044u;  // "DPSV" little-endian
 inline constexpr std::size_t kHeaderBytes = 20;
 inline constexpr std::size_t kTrailerBytes = 4;  // the CRC
@@ -110,10 +138,12 @@ class ProtocolError : public std::runtime_error {
 
 /// One decoded frame. `payload` holds bit patterns: request = input features
 /// in the model's format, response = readout activations. `model` is the
-/// v2/v3 routing name; it must be empty on a v1 frame (encode enforces
-/// this), and decode leaves it empty for v1 input. `deadline_us` is the v3
-/// deadline budget (microseconds remaining; 0 = none) — encode rejects a
-/// nonzero budget on a v1/v2 frame, so the older encodings cannot drift.
+/// v2/v3/v4 routing name; it must be empty on a v1 frame (encode enforces
+/// this), and decode leaves it empty for v1 input. `deadline_us` is the
+/// v3/v4 deadline budget (microseconds remaining; 0 = none) — encode rejects
+/// a nonzero budget on a v1/v2 frame, so the older encodings cannot drift.
+/// `payload_encoding` is the v4 byte (kPayloadEncoding*); encode rejects a
+/// nonzero value on any older version for the same reason.
 struct Frame {
   std::uint8_t version = kProtocolV1;
   FrameType type = FrameType::kRequest;
@@ -121,6 +151,7 @@ struct Frame {
   std::uint64_t request_id = 0;
   std::string model;
   std::uint64_t deadline_us = 0;
+  std::uint8_t payload_encoding = kPayloadEncodingRaw;
   std::vector<std::uint32_t> payload;
 
   bool operator==(const Frame&) const = default;
@@ -130,11 +161,12 @@ struct Frame {
 /// tests and for anyone implementing the protocol in another language.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
 
-/// Serialize a frame (header [+ deadline budget] [+ name block] + payload +
-/// CRC trailer). Throws ProtocolError if the payload exceeds
-/// kMaxPayloadBytes, the name exceeds kMaxModelNameBytes, a v1 frame carries
-/// a name, a v1/v2 frame carries a deadline budget, or the version is
-/// unknown.
+/// Serialize a frame (header [+ deadline budget] [+ encoding byte] [+ name
+/// block] + payload + CRC trailer). Throws ProtocolError if the payload
+/// exceeds kMaxPayloadBytes, the name exceeds kMaxModelNameBytes, a v1 frame
+/// carries a name, a v1/v2 frame carries a deadline budget, a pre-v4 frame
+/// carries a nonzero payload encoding, the encoding byte is unknown, or the
+/// version is unknown.
 std::vector<std::uint8_t> encode(const Frame& frame);
 
 /// Parse one complete frame from `bytes` (which must be exactly one frame).

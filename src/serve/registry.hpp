@@ -158,6 +158,17 @@ class ModelRegistry {
   void load(const std::string& name, std::shared_ptr<const runtime::Model> model,
             BatcherOptions opts = {});
 
+  /// load() from a shipped artifact file: the hot-reload spelling operators
+  /// actually use. runtime::Model::load reads both the "dpnet-quant" text
+  /// format and the compressed ".dpnetz" container transparently, so a fleet
+  /// can switch artifact formats without touching its reload tooling. Same
+  /// guarantees and exceptions as load(), plus std::runtime_error on an
+  /// unreadable or malformed file.
+  void load_file(const std::string& name, const std::string& path,
+                 BatcherOptions opts = {}) {
+    load(name, runtime::Model::load(path), std::move(opts));
+  }
+
   /// Drain and remove one entry, by its explicit name ("" is a read-side
   /// route alias, not a loadable or unloadable name). Returns false if the
   /// name is unknown. If the default entry is unloaded the default becomes

@@ -43,6 +43,7 @@ Client& ResilientClient::ensure_connected() {
     Client client(model_, dialer_(), model_name_);
     ClientOptions copts;
     copts.recv_timeout = opts_.recv_timeout;
+    copts.compress = opts_.compress_payloads;
     client.set_options(copts);
     client_.emplace(std::move(client));
   }

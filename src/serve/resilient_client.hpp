@@ -81,6 +81,10 @@ struct ResilientClientOptions {
   /// attempts; when it runs out before an attempt begins, the call returns
   /// kDeadlineExceeded without touching the wire.
   std::uint64_t deadline_budget_us = 0;
+  /// Entropy-code payloads (ClientOptions::compress: protocol-v4 frames,
+  /// server mirrors the encoding on kOk responses). The server must already
+  /// speak v4 — upgrade servers before flipping this on (docs/operations.md).
+  bool compress_payloads = false;
 };
 
 struct ResilientClientStats {

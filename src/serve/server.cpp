@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "codec/payload.hpp"
 #include "serve/fault_injection.hpp"
 
 namespace dp::serve {
@@ -707,7 +708,26 @@ void Server::handle_request(Shard& sh, const std::shared_ptr<Conn>& conn, Frame 
     return;
   }
   const std::size_t dim = lease->model->input_dim();
-  if (frame.payload.size() != dim) {
+  const num::Format& fmt = lease->model->format();
+  // A v4 compressed payload is an entropy-coded block; decode it back into
+  // bit patterns before anything interprets it. The decoder is the one that
+  // faces untrusted bytes, and it fails closed: any malformed block — bad
+  // length, bad padding, hostile element count — is a CodecError, answered
+  // kBadRequest exactly like a wrong-dimension raw request (the framing
+  // layer already vouched for the CRC, so the connection itself is fine).
+  std::span<const std::uint32_t> patterns = frame.payload;
+  std::vector<std::uint32_t> decoded;
+  if (frame.payload_encoding == kPayloadEncodingCodec) {
+    try {
+      decoded = codec::decode_payload(frame.payload, fmt.total_bits(), dim);
+    } catch (const codec::CodecError&) {
+      ++tally.bad_requests;
+      enqueue_response(conn, id, Status::kBadRequest, {});
+      return;
+    }
+    patterns = decoded;
+  }
+  if (patterns.size() != dim) {
     ++tally.bad_requests;
     enqueue_response(conn, id, Status::kBadRequest, {});
     return;
@@ -715,9 +735,8 @@ void Server::handle_request(Shard& sh, const std::shared_ptr<Conn>& conn, Frame 
   // The wire carries the sample as format bit patterns; the Session
   // quantizes its input, and RNE quantization is idempotent on representable
   // values, so this decode->requantize round trip is exact.
-  const num::Format& fmt = lease->model->format();
   sh.x_scratch.resize(dim);
-  for (std::size_t i = 0; i < dim; ++i) sh.x_scratch[i] = fmt.to_double(frame.payload[i]);
+  for (std::size_t i = 0; i < dim; ++i) sh.x_scratch[i] = fmt.to_double(patterns[i]);
   // The v3 deadline budget is relative (microseconds remaining, so it
   // survives clock skew); anchor it to OUR steady clock the moment the
   // request enters the process. The batcher sheds it with kDeadlineExceeded
@@ -730,10 +749,12 @@ void Server::handle_request(Shard& sh, const std::shared_ptr<Conn>& conn, Frame 
   // Shard-private admission lane: no cross-shard contention on the submit
   // lock (lane() wraps modulo the entry's lane count, so an external
   // registry with fewer lanes than shards still routes correctly).
+  const std::uint8_t encoding = frame.payload_encoding;
+  const int width = fmt.total_bits();
   lease->lane(sh.index).submit(
       sh.x_scratch,
-      [this, conn, id](Status status, std::span<const std::uint32_t> bits) {
-        enqueue_response(conn, id, status, bits);
+      [this, conn, id, encoding, width](Status status, std::span<const std::uint32_t> bits) {
+        enqueue_response(conn, id, status, bits, encoding, width);
         // Enqueue-then-decrement is the loop's close-check ordering contract.
         // The last decrement must also wake the loop: if the loop flushed the
         // response in the window between the two, it saw outstanding == 1 and
@@ -745,13 +766,24 @@ void Server::handle_request(Shard& sh, const std::shared_ptr<Conn>& conn, Frame 
 }
 
 void Server::enqueue_response(const std::shared_ptr<Conn>& conn, std::uint64_t id,
-                              Status status, std::span<const std::uint32_t> bits) {
+                              Status status, std::span<const std::uint32_t> bits,
+                              std::uint8_t encoding, int width) {
   Frame frame;
-  frame.version = kProtocolV1;  // responses are always v1 (see protocol.hpp)
+  if (status == Status::kOk && encoding == kPayloadEncodingCodec) {
+    // Mirror the request's encoding: a compressed request earns a compressed
+    // v4 response. Error responses stay plain v1 even then — they carry no
+    // payload, so compression buys nothing and a raw-only observer can still
+    // read every failure on the wire.
+    frame.version = kProtocolV4;
+    frame.payload_encoding = kPayloadEncodingCodec;
+    frame.payload = codec::encode_payload(bits, width);
+  } else {
+    frame.version = kProtocolV1;  // responses to raw requests are v1 (see protocol.hpp)
+    frame.payload.assign(bits.begin(), bits.end());
+  }
   frame.type = FrameType::kResponse;
   frame.status = status;
   frame.request_id = id;
-  frame.payload.assign(bits.begin(), bits.end());
   std::vector<std::uint8_t> bytes = encode(frame);
   {
     std::lock_guard<std::mutex> lk(conn->m);
@@ -821,17 +853,23 @@ std::uint64_t Client::send(std::span<const double> x, std::uint64_t deadline_bud
     throw std::invalid_argument("serve::Client: sample size != model input_dim");
   }
   Frame frame;
-  // A deadline needs the v3 layout; otherwise keep the smallest frame that
-  // can route the request (v1 for the default entry, v2 for a named one).
-  frame.version = deadline_budget_us > 0 ? kProtocolV3
-                  : model_name_.empty() ? kProtocolV1
-                                        : kProtocolV2;
+  // Compression needs the v4 layout, a deadline at least v3; otherwise keep
+  // the smallest frame that can route the request (v1 for the default entry,
+  // v2 for a named one).
+  frame.version = opts_.compress           ? kProtocolV4
+                  : deadline_budget_us > 0 ? kProtocolV3
+                  : model_name_.empty()    ? kProtocolV1
+                                           : kProtocolV2;
   frame.type = FrameType::kRequest;
   frame.request_id = next_id_++;
   frame.model = model_name_;
   frame.deadline_us = deadline_budget_us;
   frame.payload.reserve(x.size());
   for (const double v : x) frame.payload.push_back(model_->format().from_double(v));
+  if (opts_.compress) {
+    frame.payload_encoding = kPayloadEncodingCodec;
+    frame.payload = codec::encode_payload(frame.payload, model_->format().total_bits());
+  }
   write_frame(stream_, frame);
   awaiting_.insert(frame.request_id);
   return frame.request_id;
@@ -886,6 +924,24 @@ std::optional<Frame> Client::next_frame(
   }
 }
 
+Reply Client::to_reply(Frame&& frame) {
+  if (frame.payload_encoding == kPayloadEncodingCodec) {
+    // A compressed (v4) response: decode the block back into raw bit
+    // patterns so every caller above this sees exactly what a raw response
+    // would have carried. The bound is the most elements a legal raw payload
+    // could hold — the server vouched for nothing smaller.
+    try {
+      return Reply{frame.status,
+                   codec::decode_payload(frame.payload, model_->format().total_bits(),
+                                         kMaxPayloadBytes / 4)};
+    } catch (const codec::CodecError& e) {
+      throw ProtocolError(std::string("serve::Client: bad compressed response payload: ") +
+                          e.what());
+    }
+  }
+  return Reply{frame.status, std::move(frame.payload)};
+}
+
 std::optional<Frame> Client::receive_frame() {
   bool timed_out = false;
   std::optional<Frame> frame = next_frame(recv_deadline(), timed_out);
@@ -918,11 +974,12 @@ Reply Client::receive(std::uint64_t id) {
     }
     awaiting_.erase(frame->request_id);
     if (frame->request_id == id) {
-      return Reply{frame->status, std::move(frame->payload)};
+      return to_reply(std::move(*frame));
     }
     // A response for a different pipelined request: park it for its
     // receive(). Out-of-order arrival is normal with dispatchers >= 2.
-    buffered_[frame->request_id] = Reply{frame->status, std::move(frame->payload)};
+    const std::uint64_t other = frame->request_id;
+    buffered_[other] = to_reply(std::move(*frame));
   }
 }
 
@@ -961,7 +1018,8 @@ std::string Client::metrics() {
     }
     // A pipelined inference response overtook the scrape: park it.
     awaiting_.erase(resp->request_id);
-    buffered_[resp->request_id] = Reply{resp->status, std::move(resp->payload)};
+    const std::uint64_t other = resp->request_id;
+    buffered_[other] = to_reply(std::move(*resp));
   }
 }
 

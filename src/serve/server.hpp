@@ -337,8 +337,14 @@ class Server {
   /// Flush as much queued response data as the socket takes right now.
   /// Returns false if the connection died mid-write.
   bool flush_writes(Shard& sh, const std::shared_ptr<Conn>& conn);
+  /// Build, encode and queue one response frame. `encoding` mirrors the
+  /// request's payload encoding: a kOk response to a compressed (v4) request
+  /// is itself a compressed v4 frame whose payload is entropy-coded at
+  /// `width` bits per symbol; everything else — raw requests, every error
+  /// status — stays a plain v1 frame, so older clients never see a v4 byte.
   void enqueue_response(const std::shared_ptr<Conn>& conn, std::uint64_t id, Status status,
-                        std::span<const std::uint32_t> bits);
+                        std::span<const std::uint32_t> bits,
+                        std::uint8_t encoding = kPayloadEncodingRaw, int width = 0);
   void bump(Shard& sh, std::uint64_t ShardStats::* counter);
 
   ModelRegistry* registry_;                          // routing target
@@ -375,6 +381,13 @@ struct ClientOptions {
   /// (they have no Reply to carry the status in). Unset = wait forever, the
   /// original blocking behaviour.
   std::optional<std::chrono::milliseconds> recv_timeout;
+  /// Entropy-code request payloads (protocol v4, codec/payload.hpp): the
+  /// sample's bit patterns travel as a range-coded block and the server
+  /// mirrors the encoding on its kOk response. Negotiated per frame, so one
+  /// connection can mix raw and compressed requests — but the server must
+  /// already understand v4 (upgrade servers first, then flip this on;
+  /// docs/operations.md). receive() decodes transparently either way.
+  bool compress = false;
 };
 
 /// The caller's end of one connection. Two usage styles:
@@ -467,6 +480,10 @@ class Client {
   friend Client connect_tcp(std::uint16_t port, std::shared_ptr<const runtime::Model> model,
                             std::string model_name, ClientOptions opts);
 
+  /// Frame -> Reply, decoding a compressed (v4) response payload back into
+  /// raw bit patterns so callers never see the wire encoding. Throws
+  /// ProtocolError if the compressed block is malformed.
+  Reply to_reply(Frame&& frame);
   /// Framed read through rbuf_: returns the next frame, nullopt on clean
   /// EOF; on `deadline` expiry sets `timed_out` and returns nullopt without
   /// consuming anything (a partial frame stays buffered for the next call).

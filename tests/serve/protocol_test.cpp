@@ -1,10 +1,11 @@
 // Wire-protocol contract tests: encode/decode round trips for every frame
 // version (v1 single-model, v2 with the model-name routing block, v3 with
-// the deadline-budget field), every decode validation rule (magic, version,
-// type, length bounds/alignment, name bound, CRC), the published CRC-32 test
-// vector, the incremental try_extract used by the server's event loop, and
-// framed blocking I/O over the in-process socketpair transport (multiple
-// frames, clean EOF, mid-frame death).
+// the deadline-budget field, v4 with the payload-encoding byte), every
+// decode validation rule (magic, version, type, length bounds/alignment,
+// name bound, encoding bound, CRC), the published CRC-32 test vector, the
+// incremental try_extract used by the server's event loop, and framed
+// blocking I/O over the in-process socketpair transport (multiple frames,
+// clean EOF, mid-frame death).
 
 #include "serve/protocol.hpp"
 
@@ -37,6 +38,13 @@ Frame sample_v3_request() {
   Frame f = sample_v2_request();
   f.version = kProtocolV3;
   f.deadline_us = 0x0102030405060708ull;
+  return f;
+}
+
+Frame sample_v4_request() {
+  Frame f = sample_v3_request();
+  f.version = kProtocolV4;
+  f.payload_encoding = kPayloadEncodingCodec;
   return f;
 }
 
@@ -115,7 +123,7 @@ TEST(ServeProtocol, DecodeRejectsBadMagicVersionTypeAndLengths) {
   }
   {  // unsupported version, CRC recomputed so only the version rule fires
     std::vector<std::uint8_t> bad = encode(req);
-    bad[4] = kProtocolV3 + 1;
+    bad[4] = kProtocolV4 + 1;
     refresh_crc(bad);
     EXPECT_THROW(decode(bad), ProtocolError);
   }
@@ -304,6 +312,82 @@ TEST(ServeProtocol, DecodeRejectsMalformedV2Frames) {
   {  // a flipped name byte fails the CRC (the name is covered)
     std::vector<std::uint8_t> bad = good;
     bad[kHeaderBytes + 1] ^= 0x20;
+    EXPECT_THROW(decode(bad), ProtocolError);
+  }
+}
+
+TEST(ServeProtocol, V4EncodeDecodeRoundTripsPayloadEncoding) {
+  const Frame req = sample_v4_request();
+  EXPECT_EQ(decode(encode(req)), req);
+
+  // Raw encoding, zero budget and empty name are all legal in v4.
+  Frame bare = req;
+  bare.payload_encoding = kPayloadEncodingRaw;
+  bare.deadline_us = 0;
+  bare.model.clear();
+  EXPECT_EQ(decode(encode(bare)), bare);
+}
+
+TEST(ServeProtocol, V4FrameLayoutMatchesSpec) {
+  // Pin the v4 byte-level layout documented in docs/serving.md: identical to
+  // v3 through offset 27, then the payload-encoding byte, then the name
+  // block, then the payload, CRC last.
+  const Frame req = sample_v4_request();
+  const std::vector<std::uint8_t> bytes = encode(req);
+  const std::size_t name_len = req.model.size();
+  ASSERT_EQ(bytes.size(), kHeaderBytes + kDeadlineBytes + 1 + 1 + name_len +
+                              req.payload.size() * 4 + kTrailerBytes);
+  EXPECT_EQ(bytes[0], 'D');
+  EXPECT_EQ(bytes[4], kProtocolV4);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(FrameType::kRequest));
+  EXPECT_EQ(bytes[16], 20);    // payload length counts payload only
+  EXPECT_EQ(bytes[20], 0x08);  // deadline budget, little-endian u64 (as v3)
+  EXPECT_EQ(bytes[27], 0x01);
+  EXPECT_EQ(bytes[28], kPayloadEncodingCodec);  // the new byte
+  EXPECT_EQ(bytes[29], name_len);
+  EXPECT_EQ(bytes[30], 'i');  // "iris-posit8"
+  EXPECT_EQ(bytes[30 + name_len - 1], '8');
+  EXPECT_EQ(bytes[30 + name_len], 0x00);  // first payload pattern
+  EXPECT_EQ(bytes[30 + name_len + 4], 0x7f);
+  // CRC covers everything before it, the encoding byte included.
+  const std::uint32_t want = crc32(std::span(bytes).first(bytes.size() - 4));
+  EXPECT_EQ(bytes[bytes.size() - 4], want & 0xff);
+}
+
+TEST(ServeProtocol, V1ToV3EncodingsArePinnedUnchangedByV4) {
+  // v4 landed WITHOUT touching the older layouts: v1/v2/v3 frames must
+  // encode to exactly the sizes (and field positions) they always had — no
+  // encoding byte sneaking in — and a nonzero payload_encoding on them is an
+  // encode-time error, not a silent format drift.
+  const std::vector<std::uint8_t> v1 = encode(sample_request());
+  EXPECT_EQ(v1.size(), kHeaderBytes + 5 * 4 + kTrailerBytes);
+
+  const Frame v2f = sample_v2_request();
+  EXPECT_EQ(encode(v2f).size(),
+            kHeaderBytes + 1 + v2f.model.size() + 5 * 4 + kTrailerBytes);
+
+  const Frame v3f = sample_v3_request();
+  const std::vector<std::uint8_t> v3 = encode(v3f);
+  EXPECT_EQ(v3.size(), kHeaderBytes + kDeadlineBytes + 1 + v3f.model.size() + 5 * 4 +
+                           kTrailerBytes);
+  EXPECT_EQ(v3[kHeaderBytes + kDeadlineBytes], v3f.model.size());  // name len, not encoding
+
+  for (Frame bad : {sample_request(), sample_v2_request(), sample_v3_request()}) {
+    bad.payload_encoding = kPayloadEncodingCodec;
+    EXPECT_THROW(encode(bad), ProtocolError) << "version " << int(bad.version);
+  }
+}
+
+TEST(ServeProtocol, V4RejectsUnknownPayloadEncoding) {
+  {  // encode-side: the Frame field is bounded
+    Frame bad = sample_v4_request();
+    bad.payload_encoding = 2;
+    EXPECT_THROW(encode(bad), ProtocolError);
+  }
+  {  // decode-side: a hostile encoding byte is rejected even with a good CRC
+    std::vector<std::uint8_t> bad = encode(sample_v4_request());
+    bad[kHeaderBytes + kDeadlineBytes] = 2;
+    refresh_crc(bad);
     EXPECT_THROW(decode(bad), ProtocolError);
   }
 }
