@@ -1,8 +1,11 @@
 // Batched inference throughput and latency of the runtime Model/Session API
 // (persistent worker pool, contiguous zero-copy batches), for the 8-bit
-// format families, on both matvec kernels (fused Emac::dot() row path and the
-// legacy per-MAC step() path), with the bit-identical-results guarantee
-// checked across pool sizes AND across the two paths. This is the
+// format families, on all three matvec paths (register-blocked multi-sample
+// kernels, the fused Emac::dot() row path, and the legacy per-MAC step()
+// recurrence), with the bit-identical-results guarantee checked across pool
+// sizes AND across every path. Where the AVX2 kernel dispatched and the
+// batch spans a tile, the blocked path must beat the fused path
+// single-threaded or the bench exits non-zero. This is the
 // engineering bench for the batch engine (no paper counterpart; the paper
 // reports per-inference hardware latency, see bench_latency).
 //
@@ -80,6 +83,8 @@ double best_seconds(runtime::Session& session, runtime::BatchView xs, int repeat
 struct Point {
   std::string format;
   const char* path;
+  const char* kernel;  // register-blocked kernel in play: "avx2", "scalar-blocked", or "-"
+  std::size_t tile;    // samples per weight-plane pass (1 = per-sample path)
   std::size_t threads;
   double inferences_per_s;
   double mmacs_per_s;
@@ -109,13 +114,14 @@ void write_throughput_json(const std::string& path, std::size_t rows, int repeat
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     std::fprintf(f,
-                 "    {\"format\": \"%s\", \"path\": \"%s\", \"threads\": %zu, "
+                 "    {\"format\": \"%s\", \"path\": \"%s\", \"kernel\": \"%s\", "
+                 "\"tile\": %zu, \"threads\": %zu, "
                  "\"inferences_per_s\": %.1f, \"mmacs_per_s\": %.2f, "
                  "\"speedup_vs_1t\": %.3f, \"per_core_efficiency\": %.3f, "
                  "\"bit_identical\": %s}%s\n",
-                 p.format.c_str(), p.path, p.threads, p.inferences_per_s, p.mmacs_per_s,
-                 p.speedup_vs_1t, p.per_core_efficiency, p.bit_identical ? "true" : "false",
-                 i + 1 == points.size() ? "" : ",");
+                 p.format.c_str(), p.path, p.kernel, p.tile, p.threads, p.inferences_per_s,
+                 p.mmacs_per_s, p.speedup_vs_1t, p.per_core_efficiency,
+                 p.bit_identical ? "true" : "false", i + 1 == points.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -149,31 +155,63 @@ int run_throughput(std::size_t rows, int repeats, const std::string& json_path) 
 
     const bool paths_match = runtime::Session(step).predict(xs) == reference;
     if (!paths_match) paths_bit_identical = false;
-    std::printf("%s (%zu MACs/inference)  fused-vs-step bit-identical: %s\n",
-                fmt.name().c_str(), macs_per_inference, paths_match ? "yes" : "NO <-- BUG");
+    std::printf("%s (%zu MACs/inference, kernel=%s tile=%zu)  all paths bit-identical: %s\n",
+                fmt.name().c_str(), macs_per_inference, fused->kernel_name(),
+                fused->preferred_tile(), paths_match ? "yes" : "NO <-- BUG");
 
-    for (const auto& [model, path_name] :
-         {std::pair{fused, "fused"}, std::pair{step, "step"}}) {
-      std::printf("  [%s]\n", path_name);
+    // Three paths over the same quantized net: the register-blocked
+    // multi-sample kernels (default Session), the per-sample fused dot()
+    // path pinned via allow_blocked = false, and the legacy per-MAC step()
+    // recurrence. All three must agree bit-for-bit on every word.
+    struct PathSpec {
+      std::shared_ptr<const runtime::Model> model;
+      const char* name;
+      const char* kernel;
+      std::size_t tile;
+      bool allow_blocked;
+    };
+    const PathSpec paths[] = {
+        {fused, "blocked", fused->kernel_name(), fused->preferred_tile(), true},
+        {fused, "fused", "-", 1, false},
+        {step, "step", "-", 1, true}};
+    double blocked_1t = 0, fused_1t = 0;
+    for (const PathSpec& spec : paths) {
+      std::printf("  [%s]\n", spec.name);
       std::printf("  %8s  %14s  %12s  %10s  %10s  %s\n", "threads", "inferences/s", "MMAC/s",
                   "speedup", "per-core", "bit-identical");
       double base = 0;
       for (const std::size_t t : thread_counts) {
         runtime::SessionOptions so;
         so.num_threads = t;
-        runtime::Session session(model, so);
+        so.allow_blocked = spec.allow_blocked;
+        runtime::Session session(spec.model, so);
         const bool identical = session.predict(xs) == reference;
         const double secs = best_seconds(session, xs, repeats);
         const double ips = static_cast<double>(rows) / secs;
         if (t == 1) base = ips;
+        if (t == 1 && std::strcmp(spec.name, "blocked") == 0) blocked_1t = ips;
+        if (t == 1 && std::strcmp(spec.name, "fused") == 0) fused_1t = ips;
         const double speedup = ips / base;
         const double per_core = speedup / static_cast<double>(t);
         std::printf("  %8zu  %14.1f  %12.2f  %9.2fx  %10.3f  %s\n", t, ips, macs / secs / 1e6,
                     speedup, per_core, identical ? "yes" : "NO <-- BUG");
-        points.push_back({fmt.name(), path_name, t, ips, macs / secs / 1e6, speedup, per_core,
-                          identical});
+        points.push_back({fmt.name(), spec.name, spec.kernel, spec.tile, t, ips,
+                          macs / secs / 1e6, speedup, per_core, identical});
         if (!identical) return 1;
       }
+    }
+    // Must-win gate: where the SIMD kernel dispatched and the batch spans at
+    // least one tile, the blocked path has no excuse to lose to the
+    // per-sample fused path single-threaded — a loss means the kernel layer
+    // regressed, so the bench (and CI) fails.
+    if (std::strcmp(fused->kernel_name(), "avx2") == 0 && rows >= fused->preferred_tile() &&
+        blocked_1t <= fused_1t) {
+      std::fprintf(stderr,
+                   "FAIL: %s blocked kernel (%s, tile %zu) did not beat the fused path "
+                   "single-threaded: %.1f vs %.1f inferences/s\n",
+                   fmt.name().c_str(), fused->kernel_name(), fused->preferred_tile(),
+                   blocked_1t, fused_1t);
+      return 1;
     }
     std::printf("\n");
   }

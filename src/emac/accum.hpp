@@ -36,7 +36,7 @@ enum class AccKind : std::uint8_t { kI64, kI128, kWide };
 /// (3)/(4)-style bound including k-term carry headroom). One bit of each
 /// signed register is spent on the sign; one more is kept as margin so the
 /// magnitude negation in readout() can never overflow.
-inline AccKind select_acc_kind(std::size_t need_bits) {
+constexpr AccKind select_acc_kind(std::size_t need_bits) {
   if (need_bits <= 62) return AccKind::kI64;
   if (need_bits <= 125) return AccKind::kI128;
   return AccKind::kWide;

@@ -1,0 +1,95 @@
+// AVX2 register-blocked EMAC matmul: 4 int64 accumulator lanes per ymm
+// register, 4 registers = a 16-sample tile per weight-plane pass. Compiled
+// with -mavx2 in its own translation unit; reached only through runtime
+// dispatch (MatmulKernel::create checks __builtin_cpu_supports("avx2")), so
+// the rest of the library stays baseline-ISA.
+//
+// Exactness: each lane performs the same int64 shift-and-add recurrence as
+// AccKulisch64::add_product. _mm256_mul_epi32 multiplies the (sign-correct)
+// low 32 bits of each lane — every ssig fits int32 for n <= 32 formats —
+// and _mm256_sllv_epi64 applies the per-lane shift. The eq. (3)/(4)-style
+// bound (spec.need_bits <= 62, enforced by the kI64 dispatch gate)
+// guarantees no partial sum ever wraps, so the spilled lanes equal the
+// scalar kernel's registers bit for bit and the shared readout produces the
+// identical patterns (tests/emac/kernel_differential_test.cpp).
+
+#include "emac/kernel.hpp"
+
+#if defined(DP_HAVE_AVX2_KERNEL)
+
+#include <immintrin.h>
+
+#include <stdexcept>
+
+namespace dp::emac {
+
+namespace {
+
+class Avx2Kernel final : public MatmulKernel {
+ public:
+  static constexpr std::size_t kTile = 16;
+
+  explicit Avx2Kernel(const KernelSpec& spec) : MatmulKernel(spec, kTile, "avx2") {
+    if (spec.acc_kind != AccKind::kI64) {
+      throw std::logic_error("Avx2Kernel: requires the int64 accumulator bound");
+    }
+  }
+
+  void matmul(const PackedPlane& w, const ActTile& acts, std::size_t samples,
+              std::uint32_t* out) const override {
+    const std::size_t stride = acts.tile;
+    if (samples > stride || samples > kMaxKernelTile || stride % 4 != 0) {
+      throw std::invalid_argument("Avx2Kernel::matmul: bad tile shape");
+    }
+    const std::size_t groups = (samples + 3) / 4;  // live 4-lane ymm groups
+    const std::size_t k = w.k;
+    alignas(32) std::int64_t lanes[kMaxKernelTile];
+    for (std::size_t r = 0; r < w.rows; ++r) {
+      // Bias image = ssig << shift, the exact AccKulisch64 add; < 2^62 by
+      // the bound, so the shift is always in range. A NaR bias poisons the
+      // row through the kind mask instead of the register.
+      const std::int64_t bias_img =
+          w.bias_nar[r] != 0 ? 0 : (w.bias_ssig[r] << w.bias_shift[r]);
+      __m256i acc[4];
+      for (std::size_t g = 0; g < groups; ++g) acc[g] = _mm256_set1_epi64x(bias_img);
+      const std::int32_t* ws = w.ssig.data() + r * k;
+      const std::int32_t* wsh = w.shift.data() + r * k;
+      for (std::size_t i = 0; i < k; ++i) {
+        const __m256i wss = _mm256_set1_epi64x(ws[i]);
+        const __m256i wshv = _mm256_set1_epi64x(wsh[i]);
+        const std::int64_t* as = acts.ssig.data() + i * stride;
+        const std::int64_t* af = acts.sf.data() + i * stride;
+        for (std::size_t g = 0; g < groups; ++g) {
+          const __m256i a =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(as + 4 * g));
+          const __m256i sh = _mm256_add_epi64(
+              wshv, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(af + 4 * g)));
+          // Shift counts are in [0, 63] for live and padded lanes alike
+          // (pads carry ssig = 0, sf = zero_sf; see kernel.hpp), so sllv
+          // never zeroes a nonzero product.
+          acc[g] = _mm256_add_epi64(acc[g],
+                                    _mm256_sllv_epi64(_mm256_mul_epi32(wss, a), sh));
+        }
+      }
+      for (std::size_t g = 0; g < groups; ++g) {
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes + 4 * g), acc[g]);
+      }
+      const unsigned rk =
+          w.row_kinds[r] |
+          (w.bias_nar[r] != 0 ? static_cast<unsigned>(DecodedOp::kNaR) : 0u);
+      for (std::size_t s = 0; s < samples; ++s) {
+        out[r * stride + s] = readout_kernel_lane_i64(spec_, lanes[s], rk | acts.kinds[s]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<MatmulKernel> make_avx2_kernel(const KernelSpec& spec) {
+  return std::make_unique<Avx2Kernel>(spec);
+}
+
+}  // namespace dp::emac
+
+#endif  // DP_HAVE_AVX2_KERNEL

@@ -50,6 +50,32 @@ Model::Model(nn::QuantizedNetwork network, ForwardPath path)
       probe.emacs_[li]->decode_plane(layer.weights.data(), layer.weights.size(),
                                      weight_planes_[li].data());
     }
+    // Blocked multi-sample kernels: all-or-nothing so forward_tile_into
+    // never mixes kernel and per-sample layers. Dispatch (AVX2 vs portable,
+    // DP_FORCE_SCALAR_KERNEL) is resolved here, once per model.
+    kernels_.reserve(net_.layers.size());
+    bool blocked = true;
+    for (std::size_t li = 0; li < net_.layers.size() && blocked; ++li) {
+      auto kern = emac::MatmulKernel::create(net_.format, net_.layers[li].fan_in);
+      if (kern == nullptr) {
+        blocked = false;
+        break;
+      }
+      kernels_.push_back(std::move(kern));
+    }
+    if (blocked) {
+      tile_ = kernels_.front()->tile();
+      packed_planes_.reserve(net_.layers.size());
+      for (std::size_t li = 0; li < net_.layers.size(); ++li) {
+        const nn::QuantizedLayer& layer = net_.layers[li];
+        tile_ = std::min(tile_, kernels_[li]->tile());
+        packed_planes_.push_back(kernels_[li]->pack_plane(
+            weight_planes_[li].data(), layer.fan_out, layer.bias.data()));
+      }
+    } else {
+      kernels_.clear();
+      tile_ = 1;
+    }
   }
 }
 
@@ -135,7 +161,10 @@ void Model::forward_into(std::span<const double> x, Scratch& scratch) const {
 }
 
 int Model::readout_argmax(const Scratch& scratch) const {
-  const std::span<const std::uint32_t> bits = scratch.activations();
+  return argmax_bits(scratch.activations());
+}
+
+int Model::argmax_bits(std::span<const std::uint32_t> bits) const {
   int best = 0;
   double best_score = bits.empty() ? 0.0 : net_.format.to_double(bits[0]);
   for (std::size_t i = 1; i < bits.size(); ++i) {
@@ -146,6 +175,74 @@ int Model::readout_argmax(const Scratch& scratch) const {
     }
   }
   return best;
+}
+
+const char* Model::kernel_name() const {
+  if (kernels_.empty()) return "none";
+  const char* name = kernels_.front()->name();
+  for (const auto& kern : kernels_) {
+    if (std::strcmp(kern->name(), name) != 0) return "mixed";
+  }
+  return name;
+}
+
+Model::TileScratch Model::make_tile_scratch() const {
+  TileScratch ts;
+  if (!kernels_.empty()) {
+    std::size_t widest = net_.input_dim();
+    for (const nn::QuantizedLayer& layer : net_.layers) {
+      widest = std::max(widest, layer.fan_out);
+    }
+    ts.bits_.reserve(widest * tile_);
+    ts.next_.reserve(widest * tile_);
+  }
+  return ts;
+}
+
+void Model::forward_tile_into(BatchView xs, std::size_t row0, std::size_t nrows,
+                              TileScratch& scratch, std::uint32_t* out) const {
+  if (kernels_.empty()) {
+    throw std::logic_error("runtime::Model::forward_tile_into: no blocked path");
+  }
+  if (nrows == 0 || nrows > tile_ || row0 + nrows > xs.rows()) {
+    throw std::invalid_argument("runtime::Model::forward_tile_into: bad tile range");
+  }
+  if (xs.row_width() != net_.input_dim()) {
+    throw std::invalid_argument("runtime::Model::forward_tile_into: bad input size");
+  }
+  const std::size_t tile = tile_;
+  std::vector<std::uint32_t>& bits = scratch.bits_;
+  std::vector<std::uint32_t>& next = scratch.next_;
+  // Quantize the tile straight into the lane-interleaved layout the kernels
+  // consume: element i of sample s at [i*tile + s]. Pad lanes stay zero
+  // (never read: pack_acts and the output copy only touch s < nrows).
+  const std::size_t in_dim = net_.input_dim();
+  bits.assign(in_dim * tile, 0);
+  for (std::size_t s = 0; s < nrows; ++s) {
+    const std::span<const double> row = xs.row(row0 + s);
+    for (std::size_t i = 0; i < in_dim; ++i) {
+      bits[i * tile + s] = net_.format.from_double(row[i]);
+    }
+  }
+  for (std::size_t li = 0; li < net_.layers.size(); ++li) {
+    const nn::QuantizedLayer& layer = net_.layers[li];
+    const emac::MatmulKernel& kern = *kernels_[li];
+    kern.pack_acts(bits.data(), layer.fan_in, nrows, tile, scratch.acts_);
+    next.resize(layer.fan_out * tile);
+    kern.matmul(packed_planes_[li], scratch.acts_, nrows, next.data());
+    if (layer.activation == nn::Activation::kReLU) {
+      for (std::size_t j = 0; j < layer.fan_out; ++j) {
+        std::uint32_t* lane = next.data() + j * tile;
+        for (std::size_t s = 0; s < nrows; ++s) lane[s] = relu(lane[s]);
+      }
+    }
+    bits.swap(next);
+  }
+  // De-interleave the readout to the caller's planar rows.
+  const std::size_t out_dim = net_.output_dim();
+  for (std::size_t s = 0; s < nrows; ++s) {
+    for (std::size_t j = 0; j < out_dim; ++j) out[s * out_dim + j] = bits[j * tile + s];
+  }
 }
 
 std::size_t Model::macs_per_inference() const {

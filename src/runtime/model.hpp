@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "emac/emac.hpp"
+#include "emac/kernel.hpp"
 #include "nn/quantize.hpp"
+#include "runtime/batch.hpp"
 
 namespace dp::runtime {
 
@@ -103,6 +105,48 @@ class Model {
   /// the last forward_into.
   int readout_argmax(const Scratch& scratch) const;
 
+  /// argmax over a row of network-format readout patterns (what the blocked
+  /// path and serving buffers hold); readout_argmax delegates here.
+  int argmax_bits(std::span<const std::uint32_t> bits) const;
+
+  // --- Register-blocked multi-sample path ----------------------------------
+  // Built at construction (fused models only) when every layer's (format,
+  // fan-in) has a MatmulKernel: a tile of samples streams through each
+  // weight plane in one pass, bit-identical to forward_into per sample
+  // (tests/runtime/blocked_session_test.cpp). Sessions drive it for
+  // multi-row batches; the per-sample path remains for everything else.
+
+  /// True when forward_tile_into is available.
+  bool blocked_available() const { return !kernels_.empty(); }
+
+  /// The kernels' preferred samples-per-pass (the minimum across layers when
+  /// dispatch differs per layer); 1 when no blocked path exists. Serving
+  /// front-ends align micro-batch flushes to a multiple of this.
+  std::size_t preferred_tile() const { return tile_; }
+
+  /// Dispatched kernel: "avx2", "scalar-blocked", "mixed" (per-layer
+  /// dispatch differs) or "none" (no blocked path).
+  const char* kernel_name() const;
+
+  /// Per-thread mutable state for forward_tile_into: the lane-interleaved
+  /// activation tile and the ping-pong pattern buffers. Never share one
+  /// between threads.
+  class TileScratch {
+   private:
+    friend class Model;
+    emac::ActTile acts_;
+    std::vector<std::uint32_t> bits_;  // current activations, [i*tile + s]
+    std::vector<std::uint32_t> next_;  // next layer's outputs, same layout
+  };
+
+  TileScratch make_tile_scratch() const;
+
+  /// Run rows [row0, row0 + nrows) of `xs` through the blocked kernels as
+  /// one tile (nrows <= preferred_tile()) and write sample s's readout to
+  /// out[s*output_dim() .. (s+1)*output_dim()). Requires blocked_available().
+  void forward_tile_into(BatchView xs, std::size_t row0, std::size_t nrows,
+                         TileScratch& scratch, std::uint32_t* out) const;
+
  private:
   std::uint32_t relu(std::uint32_t bits) const;
 
@@ -112,6 +156,12 @@ class Model {
   // patterns: the static weight memories are decoded exactly once at
   // construction and shared read-only by every Scratch on every thread.
   std::vector<std::vector<emac::DecodedOp>> weight_planes_;
+  // Blocked kernels + re-packed planes, one per layer; empty when any layer
+  // is unsupported (or the model runs the step path). Immutable after
+  // construction, shared read-only like the planes above.
+  std::vector<std::unique_ptr<emac::MatmulKernel>> kernels_;
+  std::vector<emac::PackedPlane> packed_planes_;
+  std::size_t tile_ = 1;
 };
 
 }  // namespace dp::runtime

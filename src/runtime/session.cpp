@@ -19,9 +19,16 @@ std::shared_ptr<const Model> require_model(std::shared_ptr<const Model> model) {
 Session::Session(std::shared_ptr<const Model> model, SessionOptions opts)
     : model_(require_model(std::move(model))),
       pool_(opts.pool != nullptr ? std::move(opts.pool)
-                                 : std::make_shared<WorkerPool>(opts.num_threads)) {
+                                 : std::make_shared<WorkerPool>(opts.num_threads)),
+      blocked_(opts.allow_blocked && model_->blocked_available()) {
   scratch_.reserve(pool_->slots());
   for (std::size_t s = 0; s < pool_->slots(); ++s) scratch_.push_back(model_->make_scratch());
+  if (blocked_) {
+    tile_scratch_.reserve(pool_->slots());
+    for (std::size_t s = 0; s < pool_->slots(); ++s) {
+      tile_scratch_.push_back(model_->make_tile_scratch());
+    }
+  }
   scores_.reserve(model_->output_dim());
 }
 
@@ -63,6 +70,25 @@ void Session::forward_bits_into(BatchView xs, std::span<std::uint32_t> out) {
     throw std::invalid_argument(
         "runtime::Session::forward_bits_into: out.size() != rows * output_dim");
   }
+  // Multi-row batches ride the blocked kernels: the batch is partitioned
+  // into preferred_tile()-sample tiles (the last one ragged), each tile one
+  // pool row with chunk 1 so a handful of heavy tiles still spreads across
+  // slots. Bit-identical to the per-sample path per tile, so identical for
+  // every pool size and batch shape.
+  if (blocked_ && xs.rows() > 1) {
+    const std::size_t tile = model_->preferred_tile();
+    const std::size_t tiles = (xs.rows() + tile - 1) / tile;
+    pool_->run(
+        tiles,
+        [&](std::size_t t, std::size_t slot) {
+          const std::size_t row0 = t * tile;
+          const std::size_t nrows = std::min(tile, xs.rows() - row0);
+          model_->forward_tile_into(xs, row0, nrows, tile_scratch_[slot],
+                                    out.data() + row0 * width);
+        },
+        /*chunk=*/1);
+    return;
+  }
   pool_->run(xs.rows(), [&](std::size_t row, std::size_t slot) {
     model_->forward_into(xs.row(row), scratch_[slot]);
     const std::span<const std::uint32_t> bits = scratch_[slot].activations();
@@ -74,6 +100,16 @@ BatchResult<double> Session::forward(BatchView xs) {
   check_view(xs);
   const std::size_t width = model_->output_dim();
   const num::Format& fmt = model_->format();
+  if (blocked_ && xs.rows() > 1) {
+    // The blocked kernels produce bit patterns; decoding them here is the
+    // same per-word fmt.to_double the per-sample loop applies.
+    const BatchResult<std::uint32_t> bits = forward_bits(xs);
+    BatchResult<double> out{std::vector<double>(bits.data.size()), width};
+    for (std::size_t i = 0; i < bits.data.size(); ++i) {
+      out.data[i] = fmt.to_double(bits.data[i]);
+    }
+    return out;
+  }
   BatchResult<double> out{std::vector<double>(xs.rows() * width), width};
   pool_->run(xs.rows(), [&](std::size_t row, std::size_t slot) {
     model_->forward_into(xs.row(row), scratch_[slot]);
@@ -85,6 +121,14 @@ BatchResult<double> Session::forward(BatchView xs) {
 
 std::vector<int> Session::predict(BatchView xs) {
   check_view(xs);
+  if (blocked_ && xs.rows() > 1) {
+    const BatchResult<std::uint32_t> bits = forward_bits(xs);
+    std::vector<int> out(xs.rows());
+    for (std::size_t row = 0; row < xs.rows(); ++row) {
+      out[row] = model_->argmax_bits(bits.row(row));
+    }
+    return out;
+  }
   std::vector<int> out(xs.rows());
   pool_->run(xs.rows(), [&](std::size_t row, std::size_t slot) {
     model_->forward_into(xs.row(row), scratch_[slot]);
@@ -99,6 +143,14 @@ double Session::accuracy(BatchView xs, std::span<const int> labels) {
   }
   if (xs.rows() == 0) return 0.0;
   check_view(xs);
+  if (blocked_ && xs.rows() > 1) {
+    const std::vector<int> preds = predict(xs);
+    std::size_t hits = 0;
+    for (std::size_t row = 0; row < preds.size(); ++row) {
+      if (preds[row] == labels[row]) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(xs.rows());
+  }
   std::vector<unsigned char> correct(xs.rows(), 0);
   pool_->run(xs.rows(), [&](std::size_t row, std::size_t slot) {
     model_->forward_into(xs.row(row), scratch_[slot]);

@@ -40,6 +40,12 @@ struct SessionOptions {
   /// pool sized to the machine — the Session allocates one Scratch per pool
   /// slot either way.
   std::shared_ptr<WorkerPool> pool;
+  /// Drive multi-row batches through the Model's register-blocked
+  /// multi-sample kernels when the model has them (bit-identical to the
+  /// per-sample path for every batch shape and pool size —
+  /// tests/runtime/blocked_session_test.cpp). Disable to pin this Session to
+  /// the per-sample fused matvec (the benchmark baseline).
+  bool allow_blocked = true;
 };
 
 class Session {
@@ -51,6 +57,15 @@ class Session {
 
   /// Actual pool concurrency (spawned workers + the submitting thread).
   std::size_t num_threads() const { return pool_->slots(); }
+
+  /// The kernel's ideal samples-per-pass for this Session: the model's
+  /// preferred tile when the blocked path is active, 1 otherwise. Serving
+  /// front-ends (serve::DynamicBatcher) align size-triggered flushes to a
+  /// multiple of this so every full tile of a micro-batch rides one
+  /// weight-plane pass.
+  std::size_t preferred_batch_multiple() const {
+    return blocked_ ? model_->preferred_tile() : 1;
+  }
 
   // --- Single-sample entry points (zero-copy in and out) -------------------
   // `x` is any contiguous double buffer of input_dim() values. The returned
@@ -97,6 +112,8 @@ class Session {
                                   // submitting thread in both roles)
   std::vector<double> scores_;    // single-sample decoded readout buffer
   std::shared_ptr<WorkerPool> pool_;  // private by default; shared via options
+  bool blocked_ = false;              // multi-row batches use the blocked kernels
+  std::vector<Model::TileScratch> tile_scratch_;  // one per pool slot
 };
 
 }  // namespace dp::runtime

@@ -46,7 +46,7 @@ bool WorkerPool::work_one(std::unique_lock<std::mutex>& lock, Job& job, std::siz
     return false;
   }
   const std::size_t begin = job.next;
-  const std::size_t end = std::min(job.rows, begin + kRowsPerChunk);
+  const std::size_t end = std::min(job.rows, begin + job.chunk);
   job.next = end;
   if (job.next >= job.rows) unqueue(job);  // fully claimed: hide from workers
 
@@ -87,17 +87,19 @@ void WorkerPool::worker_main(std::size_t slot) {
   }
 }
 
-void WorkerPool::run(std::size_t rows, const RowFn& fn) {
+void WorkerPool::run(std::size_t rows, const RowFn& fn, std::size_t chunk) {
   if (rows == 0) return;
+  if (chunk == 0) chunk = 1;
   // Batches that fit one chunk (and pools of one) never touch the pool
   // machinery: no wakeup, no handshake, just the submitting thread.
-  if (workers_.empty() || rows <= kRowsPerChunk) {
+  if (workers_.empty() || rows <= chunk) {
     for (std::size_t i = 0; i < rows; ++i) fn(i, 0);
     return;
   }
   Job job;
   job.fn = &fn;
   job.rows = rows;
+  job.chunk = chunk;
   std::unique_lock<std::mutex> lock(m_);
   queue_.push_back(&job);
   job_cv_.notify_all();

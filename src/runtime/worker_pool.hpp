@@ -62,7 +62,12 @@ class WorkerPool {
   /// several threads at once — each call is its own job; the per-slot
   /// single-thread guarantee above still holds. The submitting thread always
   /// helps drain its own job as slot 0 while it waits.
-  void run(std::size_t rows, const RowFn& fn);
+  ///
+  /// `chunk` is the rows handed out per cursor pop. The default suits
+  /// cheap per-row work; callers whose rows are already coarse-grained
+  /// (e.g. a Session submitting whole sample TILES to the blocked matmul
+  /// kernels) pass 1 so a handful of heavy rows still spreads across slots.
+  void run(std::size_t rows, const RowFn& fn, std::size_t chunk = kRowsPerChunk);
 
  private:
   /// One in-flight run() call. Lives on the submitter's stack; every field
@@ -72,6 +77,7 @@ class WorkerPool {
   struct Job {
     const RowFn* fn = nullptr;
     std::size_t rows = 0;
+    std::size_t chunk = kRowsPerChunk;  ///< rows claimed per cursor pop
     std::size_t next = 0;     ///< first unclaimed row
     std::size_t done = 0;     ///< claimed rows fully processed
     std::size_t skipped = 0;  ///< rows abandoned by the error path

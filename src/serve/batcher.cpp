@@ -38,7 +38,10 @@ BatcherOptions validate(BatcherOptions opts) {
 
 DynamicBatcher::DynamicBatcher(std::shared_ptr<const runtime::Model> model,
                                BatcherOptions opts)
-    : model_(require_model(std::move(model))), opts_(validate(opts)) {
+    : model_(require_model(std::move(model))),
+      opts_(validate(opts)),
+      tile_(opts_.tile_align != 0 ? opts_.tile_align
+                                  : std::max<std::size_t>(1, model_->preferred_tile())) {
   pending_x_.reserve(opts_.queue_capacity * model_->input_dim());
   pending_.reserve(opts_.queue_capacity);
   wait_window_.reserve(kWaitWindow);
@@ -160,6 +163,7 @@ void DynamicBatcher::dispatcher_main(std::size_t index) {
     // Flush decision: size trigger, deadline trigger, shutdown drain — or
     // the front request's shed deadline, so an expired request is answered
     // kDeadlineExceeded promptly instead of parking until max_wait.
+    bool deadline_due = stop_;
     if (depth_locked() < opts_.max_batch && !stop_) {
       const auto flush_at = std::min(pending_[head_].enqueued + opts_.max_wait,
                                      pending_[head_].deadline);
@@ -169,6 +173,7 @@ void DynamicBatcher::dispatcher_main(std::size_t index) {
         cv_.wait_until(lk, flush_at);
         continue;
       }
+      deadline_due = true;
     }
 
     // Carve up to max_batch rows off the queue front while holding the lock
@@ -176,7 +181,17 @@ void DynamicBatcher::dispatcher_main(std::size_t index) {
     // Rows whose shed deadline has passed are split off here — they never
     // reach the Session — and the carve only advances head_; compaction
     // below is amortized O(1)/row.
-    const std::size_t take = std::min(depth_locked(), opts_.max_batch);
+    std::size_t take = std::min(depth_locked(), opts_.max_batch);
+    if (!deadline_due && tile_ > 1 && take > tile_) {
+      // Size-triggered burst carve: trim to whole kernel tiles so the
+      // blocked matmul never sees a ragged tail mid-burst. The carve always
+      // starts at the queue front, so trimming only defers TAIL rows — the
+      // oldest request still leaves now, and a deadline/shutdown flush (the
+      // deadline_due path) is never trimmed, preserving max_wait even when
+      // fewer than tile_ rows are pending.
+      const std::size_t aligned = take - take % tile_;
+      if (aligned != 0) take = aligned;
+    }
     const auto now = Clock::now();
     batch_x.clear();
     batch_meta.clear();

@@ -310,7 +310,12 @@ void Server::accept_from(Shard& sh, Transport& transport,
   for (;;) {
     FdStream stream = transport.accept();
     if (!stream.valid()) return;
-    if (stopping_.load()) continue;  // refused: FdStream closes on destruction
+    // A connection that reaches us during stop is NOT silently dropped: it
+    // may have been dialed — and had requests pipelined onto it — before
+    // stop() began, and closing it unread would reset the peer. Admit it;
+    // the stopping loop's graceful-close sweep reads whatever it sent,
+    // answers each frame kShutdown, and ends the stream with a clean EOF
+    // within a tick or two.
     if (chaos_ && !metrics_conn) {
       // Fault injection: splice the injector's relay between this loop and
       // the real peer, so every byte of the conversation can be sliced,
@@ -548,6 +553,35 @@ void Server::loop_main(Shard& sh) {
             {
               std::lock_guard<std::mutex> lk(conn->m);
               still_empty = conn->wq.empty();
+            }
+            if (still_empty && !conn->read_done) {
+              // stop() parks the read side, so requests pipelined before the
+              // stop may still sit unread in the kernel buffer. close(2) on
+              // a stream socket with unread receive data resets the peer —
+              // destroying responses it has not yet consumed — and silently
+              // discarding the bytes would leave those requests unanswered
+              // (the client would see a clean EOF where a reply belongs).
+              // One final sweep decodes whatever already arrived;
+              // handle_request's draining_ path answers each frame with
+              // kShutdown. The read side is then done for good, preserving
+              // stop()'s termination bound against a client that keeps
+              // sending.
+              try {
+                ssize_t n;
+                while ((n = conn->stream.read_some(chunk.data(), chunk.size())) > 0) {
+                  conn->rbuf.insert(conn->rbuf.end(), chunk.begin(), chunk.begin() + n);
+                  if (!drain_rbuf(sh, conn)) break;  // framing error: close anyway
+                }
+              } catch (const TransportError&) {
+                // Reset under us: nothing left to answer; close below.
+              }
+              conn->read_done = true;
+              {
+                std::lock_guard<std::mutex> lk(conn->m);
+                still_empty = conn->wq.empty();
+              }
+              // If the sweep enqueued kShutdown replies, fall through: the
+              // connection is kept, flushed on the next tick, then closed.
             }
             if (still_empty) {
               conn->stream.shutdown_both();

@@ -28,11 +28,14 @@ std::shared_ptr<const runtime::Model> small_model() {
   return model;
 }
 
-/// A heavier net (~76k MACs/row) so a full micro-batch stays in flight for a
-/// measurable time in the overlap test.
+/// A heavier net (~560k MACs/row) so a full micro-batch stays in flight for
+/// a measurable time in the overlap test — sized for the register-blocked
+/// kernels, which push a 16-row micro-batch through several times faster
+/// than the per-sample path this test was originally tuned against.
 std::shared_ptr<const runtime::Model> heavy_model() {
   static const std::shared_ptr<const runtime::Model> model = runtime::Model::create(
-      nn::quantize(nn::Mlp({32, 256, 256, 10}, /*seed=*/3), num::Format{num::PositFormat{8, 0}}));
+      nn::quantize(nn::Mlp({64, 512, 512, 512, 10}, /*seed=*/3),
+                   num::Format{num::PositFormat{8, 0}}));
   return model;
 }
 
