@@ -81,7 +81,9 @@ double best_seconds(runtime::Session& session, runtime::BatchView xs, int repeat
 // ---------------------------------------------------------------------------
 
 struct Point {
-  std::string format;
+  std::string format;              // uniform name, or "mixed" for a per-layer sweep entry
+  std::string layer_formats_json;  // every layer's format name, as a JSON array
+  double bits_per_weight;          // parameter-weighted mean storage bits
   const char* path;
   const char* kernel;  // register-blocked kernel in play: "avx2", "scalar-blocked", or "-"
   std::size_t tile;    // samples per weight-plane pass (1 = per-sample path)
@@ -114,14 +116,16 @@ void write_throughput_json(const std::string& path, std::size_t rows, int repeat
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     std::fprintf(f,
-                 "    {\"format\": \"%s\", \"path\": \"%s\", \"kernel\": \"%s\", "
+                 "    {\"format\": \"%s\", \"layer_formats\": %s, "
+                 "\"bits_per_weight\": %.4f, \"path\": \"%s\", \"kernel\": \"%s\", "
                  "\"tile\": %zu, \"threads\": %zu, "
                  "\"inferences_per_s\": %.1f, \"mmacs_per_s\": %.2f, "
                  "\"speedup_vs_1t\": %.3f, \"per_core_efficiency\": %.3f, "
                  "\"bit_identical\": %s}%s\n",
-                 p.format.c_str(), p.path, p.kernel, p.tile, p.threads, p.inferences_per_s,
-                 p.mmacs_per_s, p.speedup_vs_1t, p.per_core_efficiency,
-                 p.bit_identical ? "true" : "false", i + 1 == points.size() ? "" : ",");
+                 p.format.c_str(), p.layer_formats_json.c_str(), p.bits_per_weight, p.path,
+                 p.kernel, p.tile, p.threads, p.inferences_per_s, p.mmacs_per_s,
+                 p.speedup_vs_1t, p.per_core_efficiency, p.bit_identical ? "true" : "false",
+                 i + 1 == points.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -130,9 +134,22 @@ void write_throughput_json(const std::string& path, std::size_t rows, int repeat
 
 int run_throughput(std::size_t rows, int repeats, const std::string& json_path) {
   const nn::Mlp net = bench_net();
-  const std::vector<num::Format> formats{
-      num::Format{num::PositFormat{8, 0}}, num::Format{num::PositFormat{8, 1}},
-      num::Format{num::FloatFormat{4, 3}}, num::Format{num::FixedFormat{8, 6}}};
+  // One per-layer assignment per sweep entry: the four uniform baselines,
+  // plus one genuinely mixed assignment of the shape dp::tune ships (wide
+  // endpoints, narrow interior) so the mixed dispatch path is on the board.
+  const std::size_t nlayers = net.layers().size();
+  std::vector<std::vector<num::Format>> sweeps;
+  for (const num::Format& fmt :
+       {num::Format{num::PositFormat{8, 0}}, num::Format{num::PositFormat{8, 1}},
+        num::Format{num::FloatFormat{4, 3}}, num::Format{num::FixedFormat{8, 6}}}) {
+    sweeps.emplace_back(nlayers, fmt);
+  }
+  {
+    std::vector<num::Format> mixed(nlayers, num::Format{num::PositFormat{5, 1}});
+    mixed.front() = num::Format{num::PositFormat{8, 0}};
+    mixed.back() = num::Format{num::PositFormat{8, 0}};
+    sweeps.push_back(std::move(mixed));
+  }
   const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
 
   std::printf("bench_batch_throughput: Session::predict over %zu rows, net %s\n", rows,
@@ -143,10 +160,17 @@ int run_throughput(std::size_t rows, int repeats, const std::string& json_path) 
   std::vector<Point> points;
   std::size_t macs_per_inference = 0;
   bool paths_bit_identical = true;
-  for (const num::Format& fmt : formats) {
-    const auto fused = runtime::Model::create(nn::quantize(net, fmt));  // default path
+  for (const std::vector<num::Format>& asn : sweeps) {
+    const auto fused = runtime::Model::create(nn::quantize(net, asn));  // default path
     const auto step =
-        runtime::Model::create(nn::quantize(net, fmt), runtime::ForwardPath::kStep);
+        runtime::Model::create(nn::quantize(net, asn), runtime::ForwardPath::kStep);
+    const std::string label = fused->mixed_format() ? "mixed" : asn.front().name();
+    std::string lf_json = "[";
+    for (std::size_t li = 0; li < asn.size(); ++li) {
+      if (li != 0) lf_json += ", ";
+      lf_json += "\"" + asn[li].name() + "\"";
+    }
+    lf_json += "]";
     const std::vector<double> flat = random_batch(rows, net.input_dim());
     const runtime::BatchView xs(flat, net.input_dim());
     const std::vector<int> reference = runtime::Session(fused).predict(xs);
@@ -156,7 +180,7 @@ int run_throughput(std::size_t rows, int repeats, const std::string& json_path) 
     const bool paths_match = runtime::Session(step).predict(xs) == reference;
     if (!paths_match) paths_bit_identical = false;
     std::printf("%s (%zu MACs/inference, kernel=%s tile=%zu)  all paths bit-identical: %s\n",
-                fmt.name().c_str(), macs_per_inference, fused->kernel_name(),
+                label.c_str(), macs_per_inference, fused->kernel_name(),
                 fused->preferred_tile(), paths_match ? "yes" : "NO <-- BUG");
 
     // Three paths over the same quantized net: the register-blocked
@@ -195,8 +219,9 @@ int run_throughput(std::size_t rows, int repeats, const std::string& json_path) 
         const double per_core = speedup / static_cast<double>(t);
         std::printf("  %8zu  %14.1f  %12.2f  %9.2fx  %10.3f  %s\n", t, ips, macs / secs / 1e6,
                     speedup, per_core, identical ? "yes" : "NO <-- BUG");
-        points.push_back({fmt.name(), spec.name, spec.kernel, spec.tile, t, ips,
-                          macs / secs / 1e6, speedup, per_core, identical});
+        points.push_back({label, lf_json, fused->bits_per_weight(), spec.name, spec.kernel,
+                          spec.tile, t, ips, macs / secs / 1e6, speedup, per_core,
+                          identical});
         if (!identical) return 1;
       }
     }
@@ -209,7 +234,7 @@ int run_throughput(std::size_t rows, int repeats, const std::string& json_path) 
       std::fprintf(stderr,
                    "FAIL: %s blocked kernel (%s, tile %zu) did not beat the fused path "
                    "single-threaded: %.1f vs %.1f inferences/s\n",
-                   fmt.name().c_str(), fused->kernel_name(), fused->preferred_tile(),
+                   label.c_str(), fused->kernel_name(), fused->preferred_tile(),
                    blocked_1t, fused_1t);
       return 1;
     }

@@ -143,7 +143,7 @@ FormatResult measure_format(const nn::Mlp& net, const num::Format& fmt, int n, i
   std::vector<std::uint8_t> bytes;
   const double enc_s = best_seconds(reps, [&] { bytes = codec::encode_network(q); });
   res.dpnetz_bytes = bytes.size();
-  nn::QuantizedNetwork back{q.format, {}};
+  nn::QuantizedNetwork back{q.format, {}, {}};
   const double dec_s = best_seconds(reps, [&] { back = codec::decode_network(bytes); });
   res.exact = identical(q, back);
   res.encode_mb_s = static_cast<double>(res.raw_bytes) / enc_s / 1e6;

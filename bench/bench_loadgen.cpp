@@ -74,6 +74,24 @@ using Clock = std::chrono::steady_clock;
 const char* kNetName = "32-64-64-10";
 nn::Mlp bench_net() { return nn::Mlp({32, 64, 64, 10}, /*seed=*/11); }
 
+std::shared_ptr<const runtime::Model> bench_model() {
+  return runtime::Model::create(
+      nn::quantize(bench_net(), num::Format{num::PositFormat{8, 0}}));
+}
+
+/// JSON array of every layer's format name — the honest spelling now that a
+/// model's format is a per-layer property (uniform here, but consumers of
+/// this JSON should not assume that).
+std::string layer_formats_json(const runtime::Model& model) {
+  const nn::QuantizedNetwork& net = model.network();
+  std::string out = "[";
+  for (std::size_t li = 0; li < net.layers.size(); ++li) {
+    if (li != 0) out += ", ";
+    out += "\"" + net.layer_format(li).name() + "\"";
+  }
+  return out + "]";
+}
+
 struct Config {
   int duration_ms = 2000;
   double rate = 4000;     // total offered req/s across all clients
@@ -282,8 +300,7 @@ struct RunResult {
 
 RunResult run_one(std::size_t shards, const Config& cfg) {
   const nn::Mlp net = bench_net();
-  const num::Format fmt{num::PositFormat{8, 0}};
-  const auto model = runtime::Model::create(nn::quantize(net, fmt));
+  const auto model = bench_model();
 
   serve::ServerOptions opts;
   opts.batcher.max_batch = 16;
@@ -316,7 +333,9 @@ RunResult run_one(std::size_t shards, const Config& cfg) {
   std::mt19937 rng(2019);
   std::uniform_real_distribution<double> u(-1.0, 1.0);
   std::vector<std::uint32_t> payload;
-  for (std::size_t i = 0; i < net.input_dim(); ++i) payload.push_back(fmt.from_double(u(rng)));
+  for (std::size_t i = 0; i < net.input_dim(); ++i) {
+    payload.push_back(model->input_format().from_double(u(rng)));
+  }
 
   const double interval_s = static_cast<double>(cfg.clients) / cfg.rate;
   const Clock::time_point t0 = Clock::now();
@@ -385,7 +404,10 @@ void write_json(const Config& cfg, const std::vector<RunResult>& results) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"bench_loadgen\",\n");
   std::fprintf(f, "  \"net\": \"%s\",\n", kNetName);
-  std::fprintf(f, "  \"format\": \"posit<8,0>\",\n");
+  const auto model = bench_model();
+  std::fprintf(f, "  \"format\": \"%s\",\n", model->input_format().name().c_str());
+  std::fprintf(f, "  \"layer_formats\": %s,\n", layer_formats_json(*model).c_str());
+  std::fprintf(f, "  \"bits_per_weight\": %.4f,\n", model->bits_per_weight());
   std::fprintf(f, "  \"open_loop\": true,\n");
   std::fprintf(f, "  \"duration_ms\": %d,\n", cfg.duration_ms);
   std::fprintf(f, "  \"target_rate_rps\": %.1f,\n", cfg.rate);

@@ -1,0 +1,129 @@
+// The mixed-precision deployment pipeline end to end (docs/deployment.md §
+// "Autotune, ship, serve"): run the dp::tune bit-budget autotuner on the
+// paper's Iris and WBC networks, quantize each into the per-layer assignment
+// it found, ship the mixed models as .dpnetz containers, reload them into a
+// TCP serve::ModelRegistry and verify every served prediction — including
+// over compressed v4 payloads — bit-identical to a direct runtime::Session.
+// Writes the machine-readable tuning report (the artifact CI uploads) to
+// argv[1], default "autotune_report.json". Exits 0 only when both budgets
+// were met and every served reply matched.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "nn/io.hpp"
+#include "nn/quantize.hpp"
+#include "runtime/session.hpp"
+#include "serve/server.hpp"
+#include "tune/tuner.hpp"
+
+namespace {
+
+struct Deployed {
+  dp::tune::TuneReport report;
+  std::string json;
+  std::shared_ptr<const dp::runtime::Model> model;
+  bool served_identical = true;
+};
+
+Deployed deploy(const dp::core::TrainedTask& task, dp::serve::ModelRegistry& registry,
+                double budget_bits) {
+  using namespace dp;
+
+  // 1. Autotune: "fit this net in budget_bits bits/weight, lose < 0.5
+  //    accuracy points against the best uniform 8-bit format".
+  tune::TuneOptions topts;
+  topts.max_bits_per_weight = budget_bits;
+  topts.max_accuracy_drop_points = 0.5;
+  const tune::TuneReport report = tune::tune_bit_budget(task, topts);
+  std::printf("[%s] baseline %s acc %.4f @ %.2f b/w -> tuned acc %.4f @ %.2f b/w "
+              "(%zu moves, budget %.2f %s)\n",
+              task.spec.name.c_str(), report.baseline_format.name().c_str(),
+              report.baseline_accuracy, report.baseline_bits_per_weight, report.accuracy,
+              report.bits_per_weight, report.steps.size(), budget_bits,
+              report.met_budget ? "met" : "NOT MET");
+  for (const tune::TuneStep& s : report.steps) {
+    std::printf("        layer %zu -> %s (acc %.4f, %.2f b/w)\n", s.layer,
+                s.format.name().c_str(), s.accuracy, s.bits_per_weight);
+  }
+
+  // 2. Ship: quantize the float32 net into the tuned per-layer assignment
+  //    and write the compressed container. A mixed network writes the v2
+  //    format table; a uniform fallback would write plain v1 — either way
+  //    Model::load reads it back transparently.
+  const auto path = std::filesystem::temp_directory_path() /
+                    (task.spec.name + "-autotuned.dpnetz");
+  nn::save_quantized_compressed(path.string(),
+                                nn::quantize(task.net, report.assignment));
+  const auto model = runtime::Model::load(path.string());
+  std::printf("        shipped %s (%s kernel%s)\n", path.string().c_str(),
+              model->kernel_name(), model->mixed_format() ? ", mixed formats" : "");
+
+  // 3. Serve: load the reloaded artifact into the registry and check served
+  //    == direct over raw and compressed payloads.
+  registry.load(task.spec.name + "-tuned", model, {});
+  return Deployed{report, tune::report_json(report, task.spec.name), model, true};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dp;
+
+  std::printf("== dp::tune autotune -> ship -> serve pipeline ==\n\n");
+  const std::string report_path = argc > 1 ? argv[1] : "autotune_report.json";
+
+  const core::TrainedTask iris = core::prepare_task(core::iris_task());
+  const core::TrainedTask wbc = core::prepare_task(core::wbc_task());
+
+  serve::ModelRegistry registry;
+  Deployed iris_dep = deploy(iris, registry, 7.0);
+  Deployed wbc_dep = deploy(wbc, registry, 7.0);
+
+  serve::ServerOptions sopts;
+  sopts.tcp_port = 0;
+  serve::Server server(registry, sopts);
+  std::printf("\n[serve] registry on 127.0.0.1:%u with %zu entries\n", server.tcp_port(),
+              registry.names().size());
+
+  bool all_identical = true;
+  for (auto* item : {&iris_dep, &wbc_dep}) {
+    const core::TrainedTask& task = item == &iris_dep ? iris : wbc;
+    const std::shared_ptr<const runtime::Model>& model = item->model;
+    runtime::Session direct(model);
+    serve::Client raw = serve::connect_tcp(server.tcp_port(), model,
+                                           task.spec.name + "-tuned");
+    serve::ClientOptions copts;
+    copts.compress = true;  // protocol v4: entropy-coded payloads both ways
+    serve::Client packed = serve::connect_tcp(server.tcp_port(), model,
+                                              task.spec.name + "-tuned", copts);
+    const std::size_t probe = std::min<std::size_t>(20, task.split.test.x.size());
+    for (std::size_t i = 0; i < probe; ++i) {
+      const std::vector<double>& x = task.split.test.x[i];
+      const int want = direct.predict(std::span<const double>(x));
+      if (raw.predict(x) != want || packed.predict(x) != want) {
+        item->served_identical = false;
+        all_identical = false;
+      }
+    }
+    std::printf("[serve] %s: %zu served predictions (raw + compressed v4) %s\n",
+                task.spec.name.c_str(), probe,
+                item->served_identical ? "bit-identical to direct Session"
+                                       : "DIVERGED <-- BUG");
+  }
+
+  // The CI artifact: one JSON document holding both tuning reports.
+  std::ofstream os(report_path);
+  os << "[\n" << iris_dep.json << ",\n" << wbc_dep.json << "\n]\n";
+  os.flush();
+  if (!os) return 1;
+  std::printf("\n[report] wrote %s\n", report_path.c_str());
+
+  const bool budgets_met = iris_dep.report.met_budget && wbc_dep.report.met_budget;
+  return all_identical && budgets_met ? 0 : 1;
+}

@@ -67,6 +67,13 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+/// The three header bytes a Format serializes to (kind, param a, param b).
+struct FormatBytes {
+  std::uint8_t kind = 0;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+};
+
 std::uint8_t kind_byte(num::Kind k) {
   switch (k) {
     case num::Kind::kPosit: return 0;
@@ -74,6 +81,26 @@ std::uint8_t kind_byte(num::Kind k) {
     case num::Kind::kFixed: return 2;
   }
   throw CodecError("dpnetz: bad format kind");
+}
+
+FormatBytes format_bytes(const num::Format& fmt) {
+  FormatBytes fb;
+  fb.kind = kind_byte(fmt.kind());
+  switch (fmt.kind()) {
+    case num::Kind::kPosit:
+      fb.a = static_cast<std::uint8_t>(fmt.posit().n);
+      fb.b = static_cast<std::uint8_t>(fmt.posit().es);
+      break;
+    case num::Kind::kFloat:
+      fb.a = static_cast<std::uint8_t>(fmt.flt().we);
+      fb.b = static_cast<std::uint8_t>(fmt.flt().wf);
+      break;
+    case num::Kind::kFixed:
+      fb.a = static_cast<std::uint8_t>(fmt.fixed().n);
+      fb.b = static_cast<std::uint8_t>(fmt.fixed().q);
+      break;
+  }
+  return fb;
 }
 
 num::Format parse_format(std::uint8_t kind, std::uint8_t a, std::uint8_t b) {
@@ -218,40 +245,52 @@ bool has_dpnetz_magic(std::span<const std::uint8_t> bytes) {
 std::vector<std::uint8_t> encode_network(const nn::QuantizedNetwork& net) {
   if (net.layers.empty()) throw CodecError("dpnetz: empty network");
   if (net.layers.size() > kMaxLayers) throw CodecError("dpnetz: too many layers");
+  try {
+    nn::validate_layer_formats(net);
+  } catch (const std::invalid_argument& e) {
+    throw CodecError(std::string("dpnetz: ") + e.what());
+  }
+  // Version is content-determined: uniform networks write the v1 container
+  // byte-for-byte as they always have; only a genuinely mixed network gets
+  // the v2 per-layer format table (decode_network enforces the bijection).
+  const bool mixed = !net.uniform_format();
   const int width = net.format.total_bits();
   check_symbol_width(width);
 
   std::vector<std::uint8_t> out;
   out.reserve(64);
   for (const std::uint8_t b : kDpnetzMagic) out.push_back(b);
-  out.push_back(kDpnetzVersion);
-  const std::uint8_t kind = kind_byte(net.format.kind());
-  std::uint8_t pa = 0;
-  std::uint8_t pb = 0;
-  switch (net.format.kind()) {
-    case num::Kind::kPosit:
-      pa = static_cast<std::uint8_t>(net.format.posit().n);
-      pb = static_cast<std::uint8_t>(net.format.posit().es);
-      break;
-    case num::Kind::kFloat:
-      pa = static_cast<std::uint8_t>(net.format.flt().we);
-      pb = static_cast<std::uint8_t>(net.format.flt().wf);
-      break;
-    case num::Kind::kFixed:
-      pa = static_cast<std::uint8_t>(net.format.fixed().n);
-      pb = static_cast<std::uint8_t>(net.format.fixed().q);
-      break;
-  }
-  out.push_back(kind);
-  out.push_back(pa);
-  out.push_back(pb);
+  out.push_back(mixed ? kDpnetzVersionMixed : kDpnetzVersion);
+  const FormatBytes fb = format_bytes(net.format);
+  out.push_back(fb.kind);
+  out.push_back(fb.a);
+  out.push_back(fb.b);
   out.push_back(static_cast<std::uint8_t>(width));
   out.push_back(0);  // reserved
   put_u16(out, static_cast<std::uint16_t>(net.layers.size()));
 
   ContentCrc crc;
-  crc_header(crc, kind, pa, pb, width, net.layers.size());
-  for (const nn::QuantizedLayer& layer : net.layers) {
+  crc_header(crc, fb.kind, fb.a, fb.b, width, net.layers.size());
+  if (mixed) {
+    // The per-layer format table, CRC-covered verbatim: a flipped table bit
+    // may not silently re-key a layer's patterns into another format.
+    for (const num::Format& f : net.layer_formats) {
+      const int w = f.total_bits();
+      check_symbol_width(w);
+      const FormatBytes lfb = format_bytes(f);
+      out.push_back(lfb.kind);
+      out.push_back(lfb.a);
+      out.push_back(lfb.b);
+      out.push_back(static_cast<std::uint8_t>(w));
+      crc.add_byte(lfb.kind);
+      crc.add_byte(lfb.a);
+      crc.add_byte(lfb.b);
+      crc.add_byte(static_cast<std::uint8_t>(w));
+    }
+  }
+  for (std::size_t li = 0; li < net.layers.size(); ++li) {
+    const nn::QuantizedLayer& layer = net.layers[li];
+    const int lwidth = net.layer_format(li).total_bits();
     if (layer.fan_in == 0 || layer.fan_out == 0 || layer.fan_in > kMaxLayerDim ||
         layer.fan_out > kMaxLayerDim ||
         layer.fan_in * layer.fan_out > kMaxLayerElements) {
@@ -261,8 +300,8 @@ std::vector<std::uint8_t> encode_network(const nn::QuantizedNetwork& net) {
         layer.bias.size() != layer.fan_out) {
       throw CodecError("dpnetz: layer tape sizes disagree with its dimensions");
     }
-    const Section weights = encode_section(layer.weights, width);
-    const Section bias = encode_section(layer.bias, width);
+    const Section weights = encode_section(layer.weights, lwidth);
+    const Section bias = encode_section(layer.bias, lwidth);
     put_u32(out, static_cast<std::uint32_t>(layer.fan_out));
     put_u32(out, static_cast<std::uint32_t>(layer.fan_in));
     out.push_back(activation_byte(layer.activation));
@@ -288,7 +327,7 @@ nn::QuantizedNetwork decode_network(std::span<const std::uint8_t> bytes) {
   if (!has_dpnetz_magic(bytes)) throw CodecError("dpnetz: bad magic");
   r.bytes(kDpnetzMagic.size());
   const std::uint8_t version = r.u8();
-  if (version != kDpnetzVersion) {
+  if (version != kDpnetzVersion && version != kDpnetzVersionMixed) {
     throw CodecError("dpnetz: unsupported container version " + std::to_string(version));
   }
   const std::uint8_t kind = r.u8();
@@ -305,12 +344,44 @@ nn::QuantizedNetwork decode_network(std::span<const std::uint8_t> bytes) {
     throw CodecError("dpnetz: layer count out of bounds");
   }
 
-  nn::QuantizedNetwork net{fmt, {}};
-  net.layers.reserve(nlayers);
+  nn::QuantizedNetwork net{fmt, {}, {}};
   ContentCrc crc;
   crc_header(crc, kind, pa, pb, width, nlayers);
+  if (version == kDpnetzVersionMixed) {
+    // The whole format table is parsed, validated and CRC-fed here, BEFORE
+    // any layer storage is allocated from the file's claims: hostile format
+    // parameters, a table that contradicts the header format, a per-entry
+    // width lie, and uniform-content v2 (two encodings of one network would
+    // break the save/load bijection) all fail closed first.
+    net.layer_formats.reserve(nlayers);
+    bool uniform = true;
+    for (std::size_t li = 0; li < nlayers; ++li) {
+      const std::uint8_t lkind = r.u8();
+      const std::uint8_t la = r.u8();
+      const std::uint8_t lb = r.u8();
+      const num::Format lfmt = parse_format(lkind, la, lb);
+      const int lwidth = r.u8();
+      if (lwidth != lfmt.total_bits()) {
+        throw CodecError("dpnetz: layer symbol width disagrees with its format");
+      }
+      crc.add_byte(lkind);
+      crc.add_byte(la);
+      crc.add_byte(lb);
+      crc.add_byte(static_cast<std::uint8_t>(lwidth));
+      uniform = uniform && lfmt == fmt;
+      net.layer_formats.push_back(lfmt);
+    }
+    if (!(net.layer_formats.front() == fmt)) {
+      throw CodecError("dpnetz: format table entry 0 disagrees with the header format");
+    }
+    if (uniform) {
+      throw CodecError("dpnetz: v2 container with a uniform format table");
+    }
+  }
+  net.layers.reserve(nlayers);
   std::size_t prev_out = 0;
   for (std::size_t l = 0; l < nlayers; ++l) {
+    const int lwidth = net.layer_format(l).total_bits();
     nn::QuantizedLayer layer;
     layer.fan_out = r.u32();
     layer.fan_in = r.u32();
@@ -334,8 +405,8 @@ nn::QuantizedNetwork decode_network(std::span<const std::uint8_t> bytes) {
       std::vector<std::uint32_t> out(count);
       if (model_id == kModelStatic) {
         const std::span<const std::uint8_t> table =
-            r.bytes(context_count(width) * 2);
-        const StaticBitTreeModel model(width, table);
+            r.bytes(context_count(lwidth) * 2);
+        const StaticBitTreeModel model(lwidth, table);
         const std::uint32_t coded_len = r.u32();
         const std::span<const std::uint8_t> coded = r.bytes(coded_len);
         RangeDecoder dec(coded);
@@ -344,7 +415,7 @@ nn::QuantizedNetwork decode_network(std::span<const std::uint8_t> bytes) {
           throw CodecError("dpnetz: section coded length disagrees with its content");
         }
       } else if (model_id == kModelAdaptive) {
-        BitTreeModel model(width);
+        BitTreeModel model(lwidth);
         const std::uint32_t coded_len = r.u32();
         const std::span<const std::uint8_t> coded = r.bytes(coded_len);
         RangeDecoder dec(coded);

@@ -8,18 +8,25 @@
 //
 //   offset  size  field
 //   0       4     magic "DPNZ"
-//   4       1     container version = 1
+//   4       1     container version: 1 uniform, 2 mixed precision
 //   5       1     format kind (0 posit, 1 float, 2 fixed)
 //   6       1     format param a (posit n / float we / fixed n)
 //   7       1     format param b (posit es / float wf / fixed q)
 //   8       1     symbol width W in bits — must equal Format::total_bits()
 //   9       1     reserved, 0
 //   10      2     layer count L (1..kMaxLayers)
-//   12      ...   L layer sections (below), back to back
+//   [v2 only] 4*L per-layer format table: kind, a, b, width — entry 0 must
+//                 repeat the header format, the entries must NOT all be
+//                 equal (uniform content IS a v1 container; the encodings
+//                 are a bijection), and every entry is validated before any
+//                 layer storage is allocated
+//   12(+4L) ...   L layer sections (below), back to back; in a v2 container
+//                 layer i's sections are coded at table entry i's width
 //   end-4   4     CRC-32 over the decoded CONTENT: kind, params, width and
-//                 layer count (header bytes 5..11 sans reserved), then per
-//                 layer fan_out/fan_in (LE u32) + activation byte followed
-//                 by every weight pattern then every bias pattern as LE u32
+//                 layer count (header bytes 5..11 sans reserved), then the
+//                 v2 format table verbatim when present, then per layer
+//                 fan_out/fan_in (LE u32) + activation byte followed by
+//                 every weight pattern then every bias pattern as LE u32
 //
 // One layer section:
 //
@@ -69,7 +76,11 @@
 namespace dp::codec {
 
 inline constexpr std::array<std::uint8_t, 4> kDpnetzMagic = {'D', 'P', 'N', 'Z'};
+/// v1 = uniform format (the only container that existed before mixed
+/// precision; uniform networks still write exactly it, byte for byte).
 inline constexpr std::uint8_t kDpnetzVersion = 1;
+/// v2 = mixed precision: v1 plus the per-layer format table above.
+inline constexpr std::uint8_t kDpnetzVersionMixed = 2;
 /// Admission bounds, enforced before allocation so hostile fields cannot
 /// balloon memory: layers, per-layer dimensions, per-layer element count.
 inline constexpr std::size_t kMaxLayers = 1024;

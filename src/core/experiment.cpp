@@ -117,6 +117,19 @@ FormatResult evaluate_format(const TrainedTask& task, const num::Format& fmt,
                          runtime::BatchView(flat, task.net.input_dim()), num_threads);
 }
 
+AssignmentResult evaluate_assignment(const TrainedTask& task,
+                                     std::span<const num::Format> fmts,
+                                     std::size_t num_threads) {
+  const std::vector<double> flat = pack_test_split(task);
+  const runtime::BatchView view(flat, task.net.input_dim());
+  nn::QuantizedNetwork qnet = nn::quantize(task.net, fmts);
+  AssignmentResult r{{fmts.begin(), fmts.end()}, 0, 0, qnet.bits_per_weight()};
+  runtime::Session session(runtime::Model::create(std::move(qnet)), {num_threads});
+  r.accuracy = session.accuracy(view, task.split.test.y);
+  r.degradation_points = (task.float32_test_accuracy - r.accuracy) * 100.0;
+  return r;
+}
+
 std::vector<FormatResult> sweep_formats(const TrainedTask& task, int n,
                                         std::size_t num_threads) {
   const std::vector<double> flat = pack_test_split(task);

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,22 @@ struct FormatResult {
 /// bit-identical across thread counts.
 FormatResult evaluate_format(const TrainedTask& task, const num::Format& fmt,
                              std::size_t num_threads = 1);
+
+/// Result of evaluating one per-layer format assignment (mixed precision).
+struct AssignmentResult {
+  std::vector<num::Format> formats;  ///< one per layer
+  double accuracy = 0;               ///< test accuracy in [0,1]
+  double degradation_points = 0;     ///< float32 acc - this acc, percentage points
+  double bits_per_weight = 0;        ///< parameter-weighted mean storage bits
+};
+
+/// evaluate_format generalized to a per-layer assignment: quantize mixed,
+/// run the same Session accuracy driver. Requires one format per layer.
+/// Deterministic and bit-identical across thread counts, like
+/// evaluate_format — dp::tune leans on both properties.
+AssignmentResult evaluate_assignment(const TrainedTask& task,
+                                     std::span<const num::Format> fmts,
+                                     std::size_t num_threads = 1);
 
 /// Evaluate the whole paper grid at total width n.
 std::vector<FormatResult> sweep_formats(const TrainedTask& task, int n,

@@ -54,7 +54,7 @@ std::vector<double> DeepPositron::forward(const std::vector<double>& x, Scratch&
   std::vector<double> out;
   const auto bits = scratch.activations();
   out.reserve(bits.size());
-  for (const std::uint32_t b : bits) out.push_back(model_->format().to_double(b));
+  for (const std::uint32_t b : bits) out.push_back(model_->output_format().to_double(b));
   return out;
 }
 

@@ -129,9 +129,21 @@ Mlp load_network(const std::string& path) {
 }
 
 void save_quantized(std::ostream& os, const QuantizedNetwork& net) {
-  os << "dpnet-quant v1\n";
+  validate_layer_formats(net);
+  // Version is content-determined, not caller-chosen: a uniform network
+  // always writes the v1 header a pre-mixed-precision reader understands
+  // (and byte-for-byte what it always wrote); only a genuinely mixed
+  // network writes v2 with its per-layer table. load_quantized enforces the
+  // same bijection on the way back in.
+  const bool mixed = !net.uniform_format();
+  os << (mixed ? "dpnet-quant v2\n" : "dpnet-quant v1\n");
   os << "format " << format_tag(net.format) << "\n";
   os << "layers " << net.layers.size() << "\n";
+  if (mixed) {
+    for (std::size_t li = 0; li < net.layer_formats.size(); ++li) {
+      os << "layerformat " << li << " " << format_tag(net.layer_formats[li]) << "\n";
+    }
+  }
   for (const auto& layer : net.layers) {
     os << "layer " << layer.fan_out << " " << layer.fan_in << " "
        << activation_name(layer.activation) << "\n"
@@ -163,13 +175,45 @@ void save_quantized(const std::string& path, const QuantizedNetwork& net) {
 QuantizedNetwork load_quantized(std::istream& is) {
   is >> std::dec;  // defend against inherited basefield state
   expect_token(is, "dpnet-quant");
-  expect_token(is, "v1");
+  std::string version;
+  if (!(is >> version)) throw std::runtime_error("dpnet: missing version");
+  if (version != "v1" && version != "v2") {
+    throw std::runtime_error("dpnet: unsupported version '" + version + "'");
+  }
   expect_token(is, "format");
   const num::Format fmt = parse_format(is);
   expect_token(is, "layers");
   std::size_t nlayers = 0;
   if (!(is >> nlayers) || nlayers == 0) throw std::runtime_error("dpnet: bad layer count");
-  QuantizedNetwork net{fmt, {}};
+  QuantizedNetwork net{fmt, {}, {}};
+  if (version == "v2") {
+    // The whole per-layer table is parsed and validated here, BEFORE any
+    // weight storage is sized from the file's say-so: hostile format
+    // parameters throw in the Format constructor, a short table trips
+    // expect_token on the following "layer" keyword, and indices must be
+    // exactly 0..n-1 in order.
+    net.layer_formats.reserve(nlayers);
+    for (std::size_t li = 0; li < nlayers; ++li) {
+      expect_token(is, "layerformat");
+      std::size_t idx = 0;
+      if (!(is >> idx) || idx != li) {
+        throw std::runtime_error("dpnet: bad layerformat index (want " +
+                                 std::to_string(li) + ")");
+      }
+      net.layer_formats.push_back(parse_format(is));
+    }
+    if (!(net.layer_formats.front() == fmt)) {
+      throw std::runtime_error("dpnet: v2 format line must equal layerformat 0");
+    }
+    bool uniform = true;
+    for (const num::Format& f : net.layer_formats) uniform = uniform && f == fmt;
+    if (uniform) {
+      // One state, one encoding: uniform content is a v1 artifact. Accepting
+      // it here would create two byte encodings of the same network and
+      // break the save/load bijection the bit-flip tests pin down.
+      throw std::runtime_error("dpnet: v2 artifact with a uniform format table");
+    }
+  }
   for (std::size_t l = 0; l < nlayers; ++l) {
     expect_token(is, "layer");
     QuantizedLayer layer;

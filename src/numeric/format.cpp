@@ -1,5 +1,6 @@
 #include "numeric/format.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace dp::num {
@@ -103,6 +104,19 @@ double Format::to_double(std::uint32_t bits) const {
 const PositFormat& Format::posit() const { return std::get<PositFormat>(v_); }
 const FloatFormat& Format::flt() const { return std::get<FloatFormat>(v_); }
 const FixedFormat& Format::fixed() const { return std::get<FixedFormat>(v_); }
+
+std::uint32_t convert(std::uint32_t bits, const Format& from, const Format& to) {
+  if (from == to) return bits;
+  const double v = from.to_double(bits);
+  // fixed_from_double refuses NaN (a domain error for a quantizer); at a
+  // mixed-format layer boundary an upstream NaR must instead map onto some
+  // deterministic fixed pattern, and the most negative one is the least
+  // likely to be mistaken for a real activation.
+  if (to.kind() == Kind::kFixed && std::isnan(v)) {
+    return fixed_from_raw(to.fixed().raw_min(), to.fixed());
+  }
+  return to.from_double(v);
+}
 
 std::vector<Format> paper_format_grid(int n) {
   std::vector<Format> out;

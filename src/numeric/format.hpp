@@ -46,6 +46,17 @@ class Format {
   std::variant<PositFormat, FloatFormat, FixedFormat> v_;
 };
 
+/// Re-encode one bit pattern from `from` into `to` — the inter-layer boundary
+/// step of a mixed-precision network. Identical formats pass the pattern
+/// through untouched; otherwise the value is decoded and re-quantized
+/// (round-to-nearest-even, saturating), exactly to.from_double(from.to_double
+/// (bits)). Non-real specials follow the quantizer rules: posit NaR and float
+/// NaN re-encode as the target's NaR/NaN, ±Inf as NaR (posit) or the
+/// saturated extreme (float/fixed). Fixed-point has no non-real pattern, so
+/// NaN lands on the most negative fixed value — a poison that a following
+/// ReLU clears to zero rather than a silent 0.
+std::uint32_t convert(std::uint32_t bits, const Format& from, const Format& to);
+
 /// The format grid evaluated by the paper for a given total width n:
 /// posit es in {0..3} (es < n-3 so at least 1 fraction bit), float we in
 /// {2..5} (wf >= 1), fixed q in {1..n-2}.

@@ -26,8 +26,9 @@ Scratch::Scratch(const nn::QuantizedNetwork& net) {
   emacs_.reserve(net.layers.size());
   std::size_t widest = net.input_dim();
   std::size_t widest_in = net.input_dim();
-  for (const nn::QuantizedLayer& layer : net.layers) {
-    emacs_.push_back(emac::make_emac(net.format, layer.fan_in));
+  for (std::size_t li = 0; li < net.layers.size(); ++li) {
+    const nn::QuantizedLayer& layer = net.layers[li];
+    emacs_.push_back(emac::make_emac(net.layer_format(li), layer.fan_in));
     widest = std::max(widest, layer.fan_out);
     widest_in = std::max(widest_in, layer.fan_in);
   }
@@ -39,6 +40,9 @@ Scratch::Scratch(const nn::QuantizedNetwork& net) {
 Model::Model(nn::QuantizedNetwork network, ForwardPath path)
     : net_(std::move(network)), path_(step_path_forced() ? ForwardPath::kStep : path) {
   if (net_.layers.empty()) throw std::invalid_argument("runtime::Model: empty network");
+  // A malformed per-layer format table must fail here, before any of it is
+  // trusted to size an accumulator or pick a kernel.
+  nn::validate_layer_formats(net_);
   // Fails fast on unsupported format/fan-in combinations and provides the
   // units that decode the weight planes below.
   Scratch probe(net_);
@@ -52,11 +56,16 @@ Model::Model(nn::QuantizedNetwork network, ForwardPath path)
     }
     // Blocked multi-sample kernels: all-or-nothing so forward_tile_into
     // never mixes kernel and per-sample layers. Dispatch (AVX2 vs portable,
-    // DP_FORCE_SCALAR_KERNEL) is resolved here, once per model.
+    // DP_FORCE_SCALAR_KERNEL) — and with it the accumulator width — is
+    // resolved here PER LAYER, against each layer's own format: in a mixed
+    // model one layer may take the AVX2 int64 kernel while a wider-quire
+    // neighbour takes the scalar-blocked one (kernel_name() then reports
+    // "mixed").
     kernels_.reserve(net_.layers.size());
     bool blocked = true;
     for (std::size_t li = 0; li < net_.layers.size() && blocked; ++li) {
-      auto kern = emac::MatmulKernel::create(net_.format, net_.layers[li].fan_in);
+      auto kern =
+          emac::MatmulKernel::create(net_.layer_format(li), net_.layers[li].fan_in);
       if (kern == nullptr) {
         blocked = false;
         break;
@@ -94,23 +103,23 @@ Scratch Model::make_scratch() const {
   return Scratch(net_);
 }
 
-std::uint32_t Model::relu(std::uint32_t bits) const {
-  switch (net_.format.kind()) {
+std::uint32_t Model::relu(std::uint32_t bits, const num::Format& fmt) {
+  switch (fmt.kind()) {
     case num::Kind::kPosit: {
-      const auto& f = net_.format.posit();
+      const auto& f = fmt.posit();
       bits &= f.mask();
       if (bits == f.nar_pattern()) return bits;  // NaR passes through
       // Negative iff the sign bit is set (and not NaR).
       return ((bits >> (f.n - 1)) & 1u) ? f.zero_pattern() : bits;
     }
     case num::Kind::kFloat: {
-      const auto& f = net_.format.flt();
+      const auto& f = fmt.flt();
       bits &= f.mask();
       // Clear negatives (including -0) to +0.
       return ((bits >> (f.we + f.wf)) & 1u) ? num::float_zero(f) : bits;
     }
     case num::Kind::kFixed: {
-      const auto& f = net_.format.fixed();
+      const auto& f = fmt.fixed();
       return num::fixed_raw(bits, f) < 0 ? num::fixed_from_raw(0, f) : (bits & f.mask());
     }
   }
@@ -124,11 +133,18 @@ void Model::forward_into(std::span<const double> x, Scratch& scratch) const {
   std::vector<std::uint32_t>& act = scratch.act_;
   std::vector<std::uint32_t>& next = scratch.next_;
   act.clear();
-  for (const double v : x) act.push_back(net_.format.from_double(v));
+  for (const double v : x) act.push_back(net_.input_format().from_double(v));
 
   const bool fused = path_ == ForwardPath::kFused;
   for (std::size_t li = 0; li < net_.layers.size(); ++li) {
     const nn::QuantizedLayer& layer = net_.layers[li];
+    const num::Format& fmt = net_.layer_format(li);
+    // Activations produced upstream carry the previous layer's format; at a
+    // mixed boundary re-encode them into this layer's before they feed the
+    // layer's EMACs.
+    if (li > 0 && !(net_.layer_format(li - 1) == fmt)) {
+      for (std::uint32_t& a : act) a = num::convert(a, net_.layer_format(li - 1), fmt);
+    }
     emac::Emac& unit = *scratch.emacs_[li];
     next.assign(layer.fan_out, 0);
     if (fused) {
@@ -141,7 +157,7 @@ void Model::forward_into(std::span<const double> x, Scratch& scratch) const {
       for (std::size_t j = 0; j < layer.fan_out; ++j) {
         std::uint32_t out =
             unit.dot(layer.bias[j], wplane + j * layer.fan_in, adec.data(), layer.fan_in);
-        if (layer.activation == nn::Activation::kReLU) out = relu(out);
+        if (layer.activation == nn::Activation::kReLU) out = relu(out, fmt);
         next[j] = out;
       }
     } else {
@@ -152,7 +168,7 @@ void Model::forward_into(std::span<const double> x, Scratch& scratch) const {
           unit.step(wrow[i], act[i]);
         }
         std::uint32_t out = unit.result();
-        if (layer.activation == nn::Activation::kReLU) out = relu(out);
+        if (layer.activation == nn::Activation::kReLU) out = relu(out, fmt);
         next[j] = out;
       }
     }
@@ -165,10 +181,11 @@ int Model::readout_argmax(const Scratch& scratch) const {
 }
 
 int Model::argmax_bits(std::span<const std::uint32_t> bits) const {
+  const num::Format& fmt = net_.output_format();
   int best = 0;
-  double best_score = bits.empty() ? 0.0 : net_.format.to_double(bits[0]);
+  double best_score = bits.empty() ? 0.0 : fmt.to_double(bits[0]);
   for (std::size_t i = 1; i < bits.size(); ++i) {
-    const double score = net_.format.to_double(bits[i]);
+    const double score = fmt.to_double(bits[i]);
     if (score > best_score) {
       best = static_cast<int>(i);
       best_score = score;
@@ -221,11 +238,22 @@ void Model::forward_tile_into(BatchView xs, std::size_t row0, std::size_t nrows,
   for (std::size_t s = 0; s < nrows; ++s) {
     const std::span<const double> row = xs.row(row0 + s);
     for (std::size_t i = 0; i < in_dim; ++i) {
-      bits[i * tile + s] = net_.format.from_double(row[i]);
+      bits[i * tile + s] = net_.input_format().from_double(row[i]);
     }
   }
   for (std::size_t li = 0; li < net_.layers.size(); ++li) {
     const nn::QuantizedLayer& layer = net_.layers[li];
+    const num::Format& fmt = net_.layer_format(li);
+    // Mixed boundary: re-encode the live lanes only — pad lanes are zero and
+    // never read (pack_acts and the output copy stop at s < nrows).
+    if (li > 0 && !(net_.layer_format(li - 1) == fmt)) {
+      const num::Format& prev = net_.layer_format(li - 1);
+      for (std::size_t i = 0; i < layer.fan_in; ++i) {
+        for (std::size_t s = 0; s < nrows; ++s) {
+          bits[i * tile + s] = num::convert(bits[i * tile + s], prev, fmt);
+        }
+      }
+    }
     const emac::MatmulKernel& kern = *kernels_[li];
     kern.pack_acts(bits.data(), layer.fan_in, nrows, tile, scratch.acts_);
     next.resize(layer.fan_out * tile);
@@ -233,7 +261,7 @@ void Model::forward_tile_into(BatchView xs, std::size_t row0, std::size_t nrows,
     if (layer.activation == nn::Activation::kReLU) {
       for (std::size_t j = 0; j < layer.fan_out; ++j) {
         std::uint32_t* lane = next.data() + j * tile;
-        for (std::size_t s = 0; s < nrows; ++s) lane[s] = relu(lane[s]);
+        for (std::size_t s = 0; s < nrows; ++s) lane[s] = relu(lane[s], fmt);
       }
     }
     bits.swap(next);

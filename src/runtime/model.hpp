@@ -84,7 +84,18 @@ class Model {
                                            ForwardPath forward = ForwardPath::kFused);
 
   ForwardPath forward_path() const { return path_; }
+  /// The uniform format — or, for a mixed-precision model, the first layer's
+  /// (== the input quantization format, so wire clients and Session callers
+  /// keep one encode rule either way). Alias: input_format().
   const num::Format& format() const { return net_.format; }
+  const num::Format& input_format() const { return net_.input_format(); }
+  /// The format of the readout activations (the last layer's) — what
+  /// argmax_bits and every reply decoder interpret bits with.
+  const num::Format& output_format() const { return net_.output_format(); }
+  /// True when at least two layers carry distinct formats.
+  bool mixed_format() const { return !net_.uniform_format(); }
+  /// Average parameter bits per stored parameter — the dp::tune budget axis.
+  double bits_per_weight() const { return net_.bits_per_weight(); }
   const nn::QuantizedNetwork& network() const { return net_; }
   std::size_t input_dim() const { return net_.input_dim(); }
   std::size_t output_dim() const { return net_.output_dim(); }
@@ -148,7 +159,7 @@ class Model {
                          TileScratch& scratch, std::uint32_t* out) const;
 
  private:
-  std::uint32_t relu(std::uint32_t bits) const;
+  static std::uint32_t relu(std::uint32_t bits, const num::Format& fmt);
 
   nn::QuantizedNetwork net_;
   ForwardPath path_;

@@ -41,7 +41,7 @@ std::span<const double> Session::forward(std::span<const double> x) {
   model_->forward_into(x, scratch_[0]);
   const std::span<const std::uint32_t> bits = scratch_[0].activations();
   scores_.clear();
-  for (const std::uint32_t b : bits) scores_.push_back(model_->format().to_double(b));
+  for (const std::uint32_t b : bits) scores_.push_back(model_->output_format().to_double(b));
   return scores_;
 }
 
@@ -99,7 +99,7 @@ void Session::forward_bits_into(BatchView xs, std::span<std::uint32_t> out) {
 BatchResult<double> Session::forward(BatchView xs) {
   check_view(xs);
   const std::size_t width = model_->output_dim();
-  const num::Format& fmt = model_->format();
+  const num::Format& fmt = model_->output_format();
   if (blocked_ && xs.rows() > 1) {
     // The blocked kernels produce bit patterns; decoding them here is the
     // same per-word fmt.to_double the per-sample loop applies.

@@ -19,8 +19,18 @@ void drain_lanes(ModelRegistry::Entry& entry) {
 
 }  // namespace
 
+ModelRegistry::RetiredSignature ModelRegistry::signature_of(const runtime::Model& m) {
+  return RetiredSignature{m.input_format(), m.output_format(), m.input_dim(),
+                          m.output_dim()};
+}
+
 bool ModelRegistry::same_signature(const RetiredSignature& a, const RetiredSignature& b) {
-  return a.format == b.format && a.input_dim == b.input_dim && a.output_dim == b.output_dim;
+  // Both wire formats are part of the contract clients capture at connect:
+  // the input format fixes how they encode requests, the output format how
+  // they decode replies — a swap may change neither (a mixed-precision
+  // reload must keep both endpoints even if interior layers move).
+  return a.format == b.format && a.output_format == b.output_format &&
+         a.input_dim == b.input_dim && a.output_dim == b.output_dim;
 }
 
 void ModelRegistry::Lease::release() {
@@ -74,13 +84,11 @@ void ModelRegistry::load(const std::string& name,
     // retired names keep their signature for the registry's lifetime.
     std::optional<RetiredSignature> before;
     if (it != entries_.end()) {
-      const runtime::Model& m = *it->second->model;
-      before = RetiredSignature{m.format(), m.input_dim(), m.output_dim()};
+      before = signature_of(*it->second->model);
     } else if (const auto rit = retired_.find(name); rit != retired_.end()) {
       before = rit->second;
     }
-    const runtime::Model& after = *entry->model;
-    const RetiredSignature sig{after.format(), after.input_dim(), after.output_dim()};
+    const RetiredSignature sig = signature_of(*entry->model);
     if (before.has_value() && !same_signature(*before, sig)) {
       throw std::invalid_argument(
           "serve::ModelRegistry: reloading '" + name +
@@ -119,9 +127,7 @@ bool ModelRegistry::unload(const std::string& name) {
     old = it->second;
     // Keep the departed entry's signature so a later load() of this name is
     // held to the same format/shape guard as a live swap.
-    const runtime::Model& m = *old->model;
-    retired_.insert_or_assign(name,
-                              RetiredSignature{m.format(), m.input_dim(), m.output_dim()});
+    retired_.insert_or_assign(name, signature_of(*old->model));
     entries_.erase(it);
     if (default_ == name) default_.clear();
     ++counters_.unloads;
@@ -155,8 +161,7 @@ void ModelRegistry::set_default(const std::string& name) {
     throw std::invalid_argument("serve::ModelRegistry: set_default of unknown name '" +
                                 name + "'");
   }
-  const runtime::Model& m = *it->second->model;
-  const RetiredSignature sig{m.format(), m.input_dim(), m.output_dim()};
+  const RetiredSignature sig = signature_of(*it->second->model);
   if (default_sig_.has_value() && !same_signature(*default_sig_, sig)) {
     // The default route is what every v1 / empty-name client quantizes
     // against; repointing it across formats would silently corrupt them,

@@ -211,10 +211,12 @@ class ModelRegistry {
   /// same name (and any repointing of the default route) is held to the
   /// same format/shape as what clients may have captured at connect.
   struct RetiredSignature {
-    num::Format format;
+    num::Format format;         ///< input (request-encode) format
+    num::Format output_format;  ///< reply-decode format; == format when uniform
     std::size_t input_dim = 0;
     std::size_t output_dim = 0;
   };
+  static RetiredSignature signature_of(const runtime::Model& m);
   static bool same_signature(const RetiredSignature& a, const RetiredSignature& b);
   /// Map lookup honouring the empty-name = default rule. Caller holds m_.
   std::map<std::string, std::shared_ptr<Entry>>::const_iterator find_locked(

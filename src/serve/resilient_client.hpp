@@ -113,7 +113,9 @@ class ResilientClient {
   ResilientClient(const ResilientClient&) = delete;
   ResilientClient& operator=(const ResilientClient&) = delete;
 
-  const num::Format& format() const { return model_->format(); }
+  /// The request-encode format (the model's input format; replies come back
+  /// in model->output_format(), which differs for mixed-precision models).
+  const num::Format& format() const { return model_->input_format(); }
   const std::string& model_name() const { return model_name_; }
   const ResilientClientOptions& options() const { return opts_; }
 

@@ -742,7 +742,11 @@ void Server::handle_request(Shard& sh, const std::shared_ptr<Conn>& conn, Frame 
     return;
   }
   const std::size_t dim = lease->model->input_dim();
-  const num::Format& fmt = lease->model->format();
+  // Requests carry INPUT-format patterns (the client's one encode rule);
+  // replies carry OUTPUT-format patterns — for a mixed-precision model the
+  // two differ, so the compressed-payload widths below are chosen per
+  // direction.
+  const num::Format& fmt = lease->model->input_format();
   // A v4 compressed payload is an entropy-coded block; decode it back into
   // bit patterns before anything interprets it. The decoder is the one that
   // faces untrusted bytes, and it fails closed: any malformed block — bad
@@ -784,7 +788,7 @@ void Server::handle_request(Shard& sh, const std::shared_ptr<Conn>& conn, Frame 
   // lock (lane() wraps modulo the entry's lane count, so an external
   // registry with fewer lanes than shards still routes correctly).
   const std::uint8_t encoding = frame.payload_encoding;
-  const int width = fmt.total_bits();
+  const int width = lease->model->output_format().total_bits();
   lease->lane(sh.index).submit(
       sh.x_scratch,
       [this, conn, id, encoding, width](Status status, std::span<const std::uint32_t> bits) {
@@ -899,10 +903,12 @@ std::uint64_t Client::send(std::span<const double> x, std::uint64_t deadline_bud
   frame.model = model_name_;
   frame.deadline_us = deadline_budget_us;
   frame.payload.reserve(x.size());
-  for (const double v : x) frame.payload.push_back(model_->format().from_double(v));
+  // Requests are always INPUT-format patterns; replies come back in the
+  // model's OUTPUT format (they differ for a mixed-precision model).
+  for (const double v : x) frame.payload.push_back(model_->input_format().from_double(v));
   if (opts_.compress) {
     frame.payload_encoding = kPayloadEncodingCodec;
-    frame.payload = codec::encode_payload(frame.payload, model_->format().total_bits());
+    frame.payload = codec::encode_payload(frame.payload, model_->input_format().total_bits());
   }
   write_frame(stream_, frame);
   awaiting_.insert(frame.request_id);
@@ -966,7 +972,7 @@ Reply Client::to_reply(Frame&& frame) {
     // could hold — the server vouched for nothing smaller.
     try {
       return Reply{frame.status,
-                   codec::decode_payload(frame.payload, model_->format().total_bits(),
+                   codec::decode_payload(frame.payload, model_->output_format().total_bits(),
                                          kMaxPayloadBytes / 4)};
     } catch (const codec::CodecError& e) {
       throw ProtocolError(std::string("serve::Client: bad compressed response payload: ") +
@@ -1062,7 +1068,9 @@ std::vector<double> Client::forward(std::span<const double> x) {
   std::vector<double> scores;
   if (!reply.ok()) return scores;
   scores.reserve(reply.bits.size());
-  for (const std::uint32_t b : reply.bits) scores.push_back(model_->format().to_double(b));
+  for (const std::uint32_t b : reply.bits) {
+    scores.push_back(model_->output_format().to_double(b));
+  }
   return scores;
 }
 
@@ -1072,9 +1080,9 @@ int Client::predict(std::span<const double> x) {
   // Same recurrence as runtime::Model::readout_argmax: first strictly
   // greatest decoded score wins, so served predictions match Session ones.
   int best = 0;
-  double best_score = model_->format().to_double(reply.bits[0]);
+  double best_score = model_->output_format().to_double(reply.bits[0]);
   for (std::size_t i = 1; i < reply.bits.size(); ++i) {
-    const double score = model_->format().to_double(reply.bits[i]);
+    const double score = model_->output_format().to_double(reply.bits[i]);
     if (score > best_score) {
       best = static_cast<int>(i);
       best_score = score;

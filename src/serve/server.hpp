@@ -409,7 +409,9 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  const num::Format& format() const { return model_->format(); }
+  /// The request-encode format (the model's input format; replies come back
+  /// in model->output_format(), which differs for mixed-precision models).
+  const num::Format& format() const { return model_->input_format(); }
 
   /// The registry entry this client's requests route to; empty = the
   /// server's default entry (v1 frames).

@@ -1,0 +1,148 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dp::tune {
+
+namespace {
+
+/// The candidate pool: the paper grid at every requested width, in
+/// candidate_bits order then grid order — the order that breaks final ties.
+std::vector<num::Format> candidate_pool(const TuneOptions& opts) {
+  std::vector<num::Format> pool;
+  for (const int n : opts.candidate_bits) {
+    for (const num::Format& f : num::paper_format_grid(n)) pool.push_back(f);
+  }
+  return pool;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+}  // namespace
+
+TuneReport tune_bit_budget(const core::TrainedTask& task, const TuneOptions& opts) {
+  if (opts.candidate_bits.empty()) {
+    throw std::invalid_argument("tune: candidate_bits must not be empty");
+  }
+  if (opts.max_bits_per_weight <= 0) {
+    throw std::invalid_argument("tune: max_bits_per_weight must be positive");
+  }
+  const std::size_t nlayers = task.net.layers().size();
+
+  // 1. Baseline: the most accurate uniform format at baseline_bits. The
+  // sweep is kept (ranked) in the report so the artifact shows what uniform
+  // alternatives the mixed assignment is being judged against.
+  TuneReport report{num::PositFormat{opts.baseline_bits, 0}, 0, 0, {}, {}, 0, 0,
+                    false,     {}};
+  report.ranked_uniform = core::sweep_formats(task, opts.baseline_bits, opts.num_threads);
+  std::stable_sort(report.ranked_uniform.begin(), report.ranked_uniform.end(),
+                   [](const core::FormatResult& a, const core::FormatResult& b) {
+                     return a.accuracy > b.accuracy;
+                   });
+  report.baseline_format = report.ranked_uniform.front().format;
+  report.baseline_accuracy = report.ranked_uniform.front().accuracy;
+
+  std::vector<num::Format> assign(nlayers, report.baseline_format);
+  core::AssignmentResult cur =
+      core::evaluate_assignment(task, assign, opts.num_threads);
+  report.baseline_bits_per_weight = cur.bits_per_weight;
+
+  // 2. Greedy narrowing until the budget holds or nothing admissible is left.
+  const std::vector<num::Format> pool = candidate_pool(opts);
+  while (cur.bits_per_weight > opts.max_bits_per_weight &&
+         report.steps.size() < opts.max_steps) {
+    bool found = false;
+    core::AssignmentResult best;
+    std::size_t best_layer = 0;
+    num::Format best_fmt = report.baseline_format;
+    int best_saved = 0;
+    for (std::size_t li = 0; li < nlayers; ++li) {
+      const int cur_bits = assign[li].total_bits();
+      for (const num::Format& f : pool) {
+        if (f.total_bits() >= cur_bits) continue;  // only strictly-narrower moves
+        std::vector<num::Format> trial = assign;
+        trial[li] = f;
+        core::AssignmentResult r =
+            core::evaluate_assignment(task, trial, opts.num_threads);
+        const double drop = (report.baseline_accuracy - r.accuracy) * 100.0;
+        if (drop > opts.max_accuracy_drop_points) continue;
+        const int saved = cur_bits - f.total_bits();
+        // First-wins tie order: accuracy, bits saved, layer index, pool
+        // order (the last two fall out of the loop order).
+        if (!found || r.accuracy > best.accuracy ||
+            (r.accuracy == best.accuracy && saved > best_saved)) {
+          found = true;
+          best = std::move(r);
+          best_layer = li;
+          best_fmt = f;
+          best_saved = saved;
+        }
+      }
+    }
+    if (!found) break;
+    assign[best_layer] = best_fmt;
+    cur = std::move(best);
+    report.steps.push_back(
+        TuneStep{best_layer, best_fmt, cur.accuracy, cur.bits_per_weight});
+  }
+
+  report.assignment = std::move(assign);
+  report.accuracy = cur.accuracy;
+  report.bits_per_weight = cur.bits_per_weight;
+  report.met_budget = cur.bits_per_weight <= opts.max_bits_per_weight;
+  return report;
+}
+
+std::string report_json(const TuneReport& report, const std::string& task_name) {
+  std::string out = "{\n  \"task\": \"";
+  append_escaped(out, task_name);
+  out += "\",\n  \"baseline\": {\"format\": \"";
+  append_escaped(out, report.baseline_format.name());
+  out += "\", \"accuracy\": " + num(report.baseline_accuracy) +
+         ", \"bits_per_weight\": " + num(report.baseline_bits_per_weight) + "},\n";
+  out += "  \"ranked_uniform\": [\n";
+  for (std::size_t i = 0; i < report.ranked_uniform.size(); ++i) {
+    const core::FormatResult& r = report.ranked_uniform[i];
+    out += "    {\"format\": \"";
+    append_escaped(out, r.format.name());
+    out += "\", \"accuracy\": " + num(r.accuracy) +
+           ", \"degradation_points\": " + num(r.degradation_points) + "}";
+    out += (i + 1 < report.ranked_uniform.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"steps\": [\n";
+  for (std::size_t i = 0; i < report.steps.size(); ++i) {
+    const TuneStep& s = report.steps[i];
+    out += "    {\"layer\": " + std::to_string(s.layer) + ", \"format\": \"";
+    append_escaped(out, s.format.name());
+    out += "\", \"accuracy\": " + num(s.accuracy) +
+           ", \"bits_per_weight\": " + num(s.bits_per_weight) + "}";
+    out += (i + 1 < report.steps.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"assignment\": [";
+  for (std::size_t i = 0; i < report.assignment.size(); ++i) {
+    out += "\"";
+    append_escaped(out, report.assignment[i].name());
+    out += "\"";
+    if (i + 1 < report.assignment.size()) out += ", ";
+  }
+  out += "],\n  \"accuracy\": " + num(report.accuracy) +
+         ",\n  \"bits_per_weight\": " + num(report.bits_per_weight) +
+         ",\n  \"met_budget\": " + (report.met_budget ? "true" : "false") + "\n}";
+  return out;
+}
+
+}  // namespace dp::tune

@@ -1,0 +1,90 @@
+#pragma once
+// dp::tune — the bit-budget autotuner: answers "fit this network in X bits
+// per weight and lose less than Y accuracy points" with a concrete per-layer
+// format assignment, ready to quantize and ship (docs/deployment.md walks
+// the full autotune -> .dpnetz -> serve pipeline).
+//
+// The search is GREEDY and fully DETERMINISTIC — no RNG, no wall-clock, no
+// thread-count dependence (core::evaluate_assignment is bit-identical across
+// pool sizes), so two runs on one trained task emit identical reports:
+//
+//   1. Sweep the uniform paper grid at `baseline_bits` and take the most
+//      accurate format (ties: first in grid order) as both the starting
+//      assignment and the accuracy yardstick.
+//   2. While over budget: for every layer, try every strictly-narrower
+//      format from the paper grids at `candidate_bits` widths; among the
+//      moves whose accuracy stays within `max_accuracy_drop_points` of the
+//      baseline, accept the one with the highest accuracy (ties: more bits
+//      saved, then lower layer index, then grid order).
+//   3. Stop when the parameter-weighted bits/weight meets the budget, or no
+//      admissible move remains (report.met_budget says which).
+//
+// Greedy-from-the-top mirrors the paper's observation that different layers
+// tolerate different precision: the tuner discovers WHICH layers, instead of
+// the usual hand-picked "first and last stay wide" heuristic.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "numeric/format.hpp"
+
+namespace dp::tune {
+
+struct TuneOptions {
+  /// The budget: parameter-weighted mean storage bits the final assignment
+  /// must not exceed (nn::QuantizedNetwork::bits_per_weight).
+  double max_bits_per_weight = 7.0;
+  /// How many accuracy percentage points below the best-uniform baseline a
+  /// candidate move may land and still be admissible.
+  double max_accuracy_drop_points = 0.5;
+  /// Width of the uniform sweep that picks the baseline format.
+  int baseline_bits = 8;
+  /// Total widths whose paper grids supply per-layer candidates (the paper's
+  /// n = 5..8 sweep by default).
+  std::vector<int> candidate_bits = {5, 6, 7, 8};
+  /// Session worker-pool size for every evaluation (0 = all hardware
+  /// threads). Purely a speed knob: results are bit-identical.
+  std::size_t num_threads = 1;
+  /// Hard cap on accepted moves (a safety net; the walk also stops on budget
+  /// or when no admissible move remains).
+  std::size_t max_steps = 64;
+};
+
+/// One accepted greedy move.
+struct TuneStep {
+  std::size_t layer = 0;     ///< which layer was narrowed
+  num::Format format;        ///< the format it moved to
+  double accuracy = 0;       ///< test accuracy after the move
+  double bits_per_weight = 0;  ///< budget position after the move
+};
+
+struct TuneReport {
+  /// The accuracy yardstick: best uniform format at baseline_bits.
+  num::Format baseline_format;
+  double baseline_accuracy = 0;
+  double baseline_bits_per_weight = 0;
+  /// The uniform sweep the baseline came from, ranked by accuracy
+  /// (descending; ties keep grid order).
+  std::vector<core::FormatResult> ranked_uniform;
+  /// The final per-layer assignment and its measurements.
+  std::vector<num::Format> assignment;
+  double accuracy = 0;
+  double bits_per_weight = 0;
+  /// True when bits_per_weight <= options.max_bits_per_weight.
+  bool met_budget = false;
+  /// The accepted moves, in order.
+  std::vector<TuneStep> steps;
+};
+
+/// Run the greedy search described above. Throws std::invalid_argument on a
+/// nonsensical configuration (no candidate widths, non-positive budget).
+TuneReport tune_bit_budget(const core::TrainedTask& task, const TuneOptions& opts = {});
+
+/// The report as a JSON document (the artifact CI uploads): baseline,
+/// ranked uniform sweep, accepted steps, final per-layer assignment and
+/// aggregates. Self-contained — no trailing newline.
+std::string report_json(const TuneReport& report, const std::string& task_name);
+
+}  // namespace dp::tune

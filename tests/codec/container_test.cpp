@@ -67,7 +67,7 @@ TEST(DpnetzContainer, RoundTripsSpecialPatternsAndDegenerateShapes) {
   for (const num::Format fmt :
        {num::Format{num::PositFormat{8, 0}}, num::Format{num::FixedFormat{5, 3}}}) {
     const std::uint32_t mask = (1u << fmt.total_bits()) - 1u;
-    nn::QuantizedNetwork q{fmt, {}};
+    nn::QuantizedNetwork q{fmt, {}, {}};
     nn::QuantizedLayer l1;
     l1.fan_in = 1;
     l1.fan_out = 4;
@@ -87,7 +87,7 @@ TEST(DpnetzContainer, RoundTripsSpecialPatternsAndDegenerateShapes) {
 }
 
 TEST(DpnetzContainer, EncodeRejectsPatternsOutsideTheFormatWidth) {
-  nn::QuantizedNetwork q{num::Format{num::PositFormat{5, 1}}, {}};
+  nn::QuantizedNetwork q{num::Format{num::PositFormat{5, 1}}, {}, {}};
   nn::QuantizedLayer l;
   l.fan_in = 1;
   l.fan_out = 1;

@@ -1,0 +1,172 @@
+// Mixed-precision text artifacts: the "dpnet-quant v2" per-layer format
+// table round-trips bit-exactly, uniform networks keep writing byte-stable
+// v1 (legacy readers and reproducible artifacts), and every malformed table
+// — wrong count, hostile parameters, truncated, uniform-content v2, version
+// from the future — is rejected during header parsing, before any weight
+// storage is allocated.
+
+#include "nn/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nn/quantize.hpp"
+#include "runtime/model.hpp"
+
+namespace dp::nn {
+namespace {
+
+Mlp random_net() {
+  Mlp net({5, 7, 4, 3}, 123);
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<float> u(-2.0f, 2.0f);
+  for (auto& layer : net.layers()) {
+    for (auto& w : layer.weights.data()) w = u(rng);
+    for (auto& b : layer.bias) b = u(rng);
+  }
+  return net;
+}
+
+std::vector<num::Format> mixed_formats() {
+  return {num::Format{num::PositFormat{8, 0}}, num::Format{num::FloatFormat{4, 3}},
+          num::Format{num::FixedFormat{6, 3}}};
+}
+
+bool identical(const QuantizedNetwork& a, const QuantizedNetwork& b) {
+  if (!(a.format == b.format) || a.layers.size() != b.layers.size()) return false;
+  if (a.layer_formats.size() != b.layer_formats.size()) return false;
+  for (std::size_t i = 0; i < a.layer_formats.size(); ++i) {
+    if (!(a.layer_formats[i] == b.layer_formats[i])) return false;
+  }
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    if (a.layers[l].weights != b.layers[l].weights) return false;
+    if (a.layers[l].bias != b.layers[l].bias) return false;
+    if (a.layers[l].activation != b.layers[l].activation) return false;
+  }
+  return true;
+}
+
+TEST(MixedArtifact, TextV2RoundTripIsExact) {
+  const QuantizedNetwork q = quantize(random_net(), mixed_formats());
+  ASSERT_FALSE(q.uniform_format());
+  std::stringstream ss;
+  save_quantized(ss, q);
+  EXPECT_EQ(ss.str().substr(0, 14), "dpnet-quant v2");
+  EXPECT_NE(ss.str().find("layerformat 0 posit 8 0"), std::string::npos);
+  EXPECT_NE(ss.str().find("layerformat 1 float 4 3"), std::string::npos);
+  EXPECT_NE(ss.str().find("layerformat 2 fixed 6 3"), std::string::npos);
+  const QuantizedNetwork back = load_quantized(ss);
+  EXPECT_TRUE(identical(q, back));
+}
+
+TEST(MixedArtifact, UniformStaysByteStableV1) {
+  // A uniform network must keep writing exactly what it always wrote: the
+  // v1 header and no per-layer table — two saves of equal content are
+  // byte-identical, and the text never mentions layerformat.
+  const QuantizedNetwork q =
+      quantize(random_net(), num::Format{num::PositFormat{8, 0}});
+  std::stringstream a, b;
+  save_quantized(a, q);
+  save_quantized(b, q);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(a.str().substr(0, 14), "dpnet-quant v1");
+  EXPECT_EQ(a.str().find("layerformat"), std::string::npos);
+  // The all-equal mixed spelling canonicalizes to the same bytes.
+  const std::vector<num::Format> all_equal(3, num::Format{num::PositFormat{8, 0}});
+  std::stringstream c;
+  save_quantized(c, quantize(random_net(), all_equal));
+  EXPECT_EQ(a.str(), c.str());
+}
+
+TEST(MixedArtifact, CompressedContainerRoundTripsThroughSniffingLoader) {
+  const QuantizedNetwork q = quantize(random_net(), mixed_formats());
+  const auto path =
+      std::filesystem::temp_directory_path() / "dp-mixed-artifact-test.dpnetz";
+  save_quantized_compressed(path.string(), q);
+  // The magic-sniffing path loader and Model::load both read it back.
+  const QuantizedNetwork back = load_quantized(path.string());
+  EXPECT_TRUE(identical(q, back));
+  const auto model = runtime::Model::load(path.string());
+  EXPECT_TRUE(model->mixed_format());
+  EXPECT_EQ(model->output_format(), mixed_formats().back());
+  std::filesystem::remove(path);
+}
+
+// --- adversarial text tables -----------------------------------------------
+
+/// A valid v2 artifact's text, to be mutated per test.
+std::string valid_v2_text() {
+  std::stringstream ss;
+  save_quantized(ss, quantize(random_net(), mixed_formats()));
+  return ss.str();
+}
+
+void expect_rejected(const std::string& text, const char* what) {
+  std::istringstream is(text);
+  EXPECT_THROW((void)load_quantized(is), std::exception) << what;
+}
+
+TEST(MixedArtifact, RejectsVersionFromTheFuture) {
+  std::string text = valid_v2_text();
+  text.replace(text.find("v2"), 2, "v3");
+  expect_rejected(text, "v3 header");
+}
+
+TEST(MixedArtifact, RejectsTruncatedFormatTable) {
+  std::string text = valid_v2_text();
+  // Drop the last layerformat line: the loader hits the "layer" keyword
+  // where it expects "layerformat" and rejects before reading any weights.
+  const std::size_t pos = text.find("layerformat 2");
+  const std::size_t end = text.find('\n', pos);
+  text.erase(pos, end - pos + 1);
+  expect_rejected(text, "short table");
+}
+
+TEST(MixedArtifact, RejectsBadTableIndex) {
+  std::string text = valid_v2_text();
+  text.replace(text.find("layerformat 1"), 13, "layerformat 9");
+  expect_rejected(text, "index out of order");
+}
+
+TEST(MixedArtifact, RejectsHostileFormatParameters) {
+  std::string text = valid_v2_text();
+  // posit<64,...> exceeds the supported width; the Format constructor
+  // rejects it while the table parses — no weights were read yet.
+  text.replace(text.find("layerformat 1 float 4 3"), 23, "layerformat 1 posit 64 0");
+  expect_rejected(text, "hostile posit width");
+  std::string text2 = valid_v2_text();
+  text2.replace(text2.find("layerformat 1 float 4 3"), 23, "layerformat 1 blorp 8 0");
+  expect_rejected(text2, "unknown kind");
+}
+
+TEST(MixedArtifact, RejectsUniformContentV2) {
+  // Hand-built v2 whose table entries are all equal: the canonical encoding
+  // of that network is v1, and the loader enforces the bijection.
+  std::string text =
+      "dpnet-quant v2\nformat posit 8 0\nlayers 2\n"
+      "layerformat 0 posit 8 0\nlayerformat 1 posit 8 0\n"
+      "layer 2 2 relu\n0 0 0 0\n0 0\n"
+      "layer 2 2 identity\n0 0 0 0\n0 0\n";
+  expect_rejected(text, "uniform-content v2");
+}
+
+TEST(MixedArtifact, RejectsFrontEntryDisagreeingWithFormatLine) {
+  std::string text = valid_v2_text();
+  text.replace(text.find("format posit 8 0"), 16, "format fixed 6 3");
+  expect_rejected(text, "format line != layerformat 0");
+}
+
+TEST(MixedArtifact, V1ArtifactsNeverGrowATable) {
+  // Cross-load: a v1 header followed by a layerformat line is malformed.
+  std::string text = valid_v2_text();
+  text.replace(text.find("v2"), 2, "v1");
+  expect_rejected(text, "v1 with a table");
+}
+
+}  // namespace
+}  // namespace dp::nn

@@ -105,5 +105,40 @@ TEST(FormatGrid, CoversPaperSweeps) {
   EXPECT_EQ(we_seen, 4);  // we 2..5
 }
 
+// num::convert is the mixed-precision layer-boundary re-encoder. The finite
+// path is exercised end-to-end by the stitched-reference differential suite
+// (tests/runtime/mixed_model_test.cpp); the special values — which finite
+// fuzz inputs never reach — get direct coverage here.
+TEST(FormatConvert, IdentityAndFiniteRecode) {
+  const Format p8{PositFormat{8, 1}};
+  const Format f8{FloatFormat{4, 3}};
+  // from == to is the verbatim identity, even for NaR.
+  EXPECT_EQ(convert(p8.posit().nar_pattern(), p8, p8), p8.posit().nar_pattern());
+  // A finite pattern re-encodes exactly as to.from_double(from.to_double(.)).
+  for (const double x : {0.0, 0.5, -1.25, 3.0}) {
+    const std::uint32_t bits = p8.from_double(x);
+    EXPECT_EQ(convert(bits, p8, f8), f8.from_double(p8.to_double(bits)));
+  }
+}
+
+TEST(FormatConvert, SpecialsCrossBoundariesDeterministically) {
+  const Format p8{PositFormat{8, 1}};
+  const Format f8{FloatFormat{4, 3}};
+  const Format x6{FixedFormat{6, 3}};
+  // Posit NaR -> float NaN: the non-real stays non-real.
+  const std::uint32_t as_float = convert(p8.posit().nar_pattern(), p8, f8);
+  EXPECT_EQ(as_float, float_nan(f8.flt()));
+  // Float NaN -> posit NaR, both directions of the non-real bridge.
+  EXPECT_EQ(convert(float_nan(f8.flt()), f8, p8), p8.posit().nar_pattern());
+  // Fixed has no non-real pattern: a NaR pins to the raw_min poison, which a
+  // downstream ReLU clears to zero instead of laundering into a real value.
+  const std::uint32_t poison = convert(p8.posit().nar_pattern(), p8, x6);
+  EXPECT_EQ(poison, fixed_from_raw(x6.fixed().raw_min(), x6.fixed()));
+  // Out-of-range reals saturate rather than wrap or trap.
+  const std::uint32_t maxpos = p8.from_double(1e6);
+  EXPECT_EQ(convert(maxpos, p8, x6), x6.from_double(p8.to_double(maxpos)));
+  EXPECT_TRUE(std::isfinite(x6.to_double(convert(maxpos, p8, x6))));
+}
+
 }  // namespace
 }  // namespace dp::num

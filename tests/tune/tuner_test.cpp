@@ -1,0 +1,105 @@
+// dp::tune acceptance: the greedy bit-budget autotuner is deterministic
+// (two runs on one trained task emit identical reports, including across
+// evaluation thread counts), meets its stated budget on the paper's Iris
+// task, keeps accuracy within the issue's 0.5-point envelope of the best
+// uniform 8-bit format, and rejects nonsense configurations.
+
+#include "tune/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+
+namespace dp::tune {
+namespace {
+
+/// Trained once, shared by every test in this binary: training is the only
+/// expensive step and the tuner itself must not depend on when it ran.
+const core::TrainedTask& iris() {
+  static const core::TrainedTask task = core::prepare_task(core::iris_task());
+  return task;
+}
+
+TEST(Tuner, DeterministicAcrossRunsAndThreadCounts) {
+  TuneOptions opts;
+  opts.max_bits_per_weight = 7.0;
+  const TuneReport a = tune_bit_budget(iris(), opts);
+  const TuneReport b = tune_bit_budget(iris(), opts);
+  EXPECT_EQ(report_json(a, "iris"), report_json(b, "iris"));
+
+  // Evaluation concurrency is a speed knob, not a result knob.
+  TuneOptions threaded = opts;
+  threaded.num_threads = 4;
+  const TuneReport c = tune_bit_budget(iris(), threaded);
+  EXPECT_EQ(report_json(a, "iris"), report_json(c, "iris"));
+}
+
+TEST(Tuner, MeetsBudgetWithinAccuracyEnvelopeOnIris) {
+  TuneOptions opts;
+  opts.max_bits_per_weight = 7.0;
+  opts.max_accuracy_drop_points = 0.5;
+  const TuneReport report = tune_bit_budget(iris(), opts);
+
+  // The acceptance criteria: budget met, and the mixed assignment's
+  // accuracy within 0.5 points of the best uniform 8-bit format.
+  EXPECT_TRUE(report.met_budget);
+  EXPECT_LE(report.bits_per_weight, 7.0);
+  EXPECT_GE(report.accuracy, report.baseline_accuracy - 0.005);
+
+  // Structural sanity: one format per layer, entry 0 == the quantization
+  // seed the runtime will use, the ranked sweep is sorted, and each
+  // accepted step strictly reduced bits/weight.
+  ASSERT_EQ(report.assignment.size(), iris().net.layers().size());
+  ASSERT_FALSE(report.ranked_uniform.empty());
+  for (std::size_t i = 1; i < report.ranked_uniform.size(); ++i) {
+    EXPECT_GE(report.ranked_uniform[i - 1].accuracy, report.ranked_uniform[i].accuracy);
+  }
+  double prev_bpw = report.baseline_bits_per_weight;
+  for (const TuneStep& s : report.steps) {
+    EXPECT_LT(s.bits_per_weight, prev_bpw);
+    EXPECT_LT(s.layer, report.assignment.size());
+    prev_bpw = s.bits_per_weight;
+  }
+
+  // The report must round-trip into the shipped artifact path: quantizing
+  // with the assignment yields exactly the reported bits/weight.
+  const nn::QuantizedNetwork qnet = nn::quantize(iris().net, report.assignment);
+  EXPECT_DOUBLE_EQ(qnet.bits_per_weight(), report.bits_per_weight);
+}
+
+TEST(Tuner, GenerousBudgetAcceptsTheBaselineOutright) {
+  TuneOptions opts;
+  opts.max_bits_per_weight = 8.0;  // the baseline already satisfies this
+  const TuneReport report = tune_bit_budget(iris(), opts);
+  EXPECT_TRUE(report.met_budget);
+  EXPECT_TRUE(report.steps.empty());
+  EXPECT_DOUBLE_EQ(report.accuracy, report.baseline_accuracy);
+}
+
+TEST(Tuner, ReportJsonCarriesTheRankedAssignment) {
+  TuneOptions opts;
+  opts.max_bits_per_weight = 7.0;
+  const TuneReport report = tune_bit_budget(iris(), opts);
+  const std::string json = report_json(report, "iris");
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key : {"\"task\": \"iris\"", "\"baseline\"", "\"ranked_uniform\"",
+                          "\"steps\"", "\"assignment\"", "\"bits_per_weight\"",
+                          "\"met_budget\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Tuner, RejectsNonsenseOptions) {
+  TuneOptions no_candidates;
+  no_candidates.candidate_bits.clear();
+  EXPECT_THROW((void)tune_bit_budget(iris(), no_candidates), std::invalid_argument);
+  TuneOptions bad_budget;
+  bad_budget.max_bits_per_weight = 0.0;
+  EXPECT_THROW((void)tune_bit_budget(iris(), bad_budget), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dp::tune
